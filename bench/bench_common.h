@@ -1,0 +1,67 @@
+// Shared harness for the paper-table benchmarks.
+//
+// Environment knobs:
+//   DPG_BENCH_SCALE  workload size multiplier (default 1.0)
+//   DPG_BENCH_REPS   timed repetitions, median reported (default 3)
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baseline/policies.h"
+#include "vm/vm_stats.h"
+#include "workloads/registry.h"
+
+namespace dpg::bench {
+
+inline double env_scale() {
+  const char* s = std::getenv("DPG_BENCH_SCALE");
+  return s != nullptr ? std::atof(s) : 1.0;
+}
+
+inline int env_reps() {
+  const char* s = std::getenv("DPG_BENCH_REPS");
+  const int r = s != nullptr ? std::atoi(s) : 3;
+  return r > 0 ? r : 1;
+}
+
+struct Sample {
+  double seconds = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t syscalls = 0;  // mm-syscalls issued during the run
+};
+
+// Times `reps` runs of the workload under policy P, returning the median.
+template <typename P>
+Sample measure(const std::string& name, double scale, int reps) {
+  std::vector<double> times;
+  Sample sample;
+  for (int r = 0; r < reps; ++r) {
+    const std::uint64_t sys_before = vm::syscall_counters().total();
+    const auto t0 = std::chrono::steady_clock::now();
+    sample.checksum = workloads::run_workload<P>(name, scale);
+    const auto t1 = std::chrono::steady_clock::now();
+    sample.syscalls = vm::syscall_counters().total() - sys_before;
+    times.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  std::sort(times.begin(), times.end());
+  sample.seconds = times[times.size() / 2];
+  return sample;
+}
+
+inline void print_header(const char* title, const char* note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("%s\n", note);
+  std::printf("================================================================\n");
+}
+
+inline const char* check_mark(std::uint64_t a, std::uint64_t b) {
+  return a == b ? "ok" : "MISMATCH";
+}
+
+}  // namespace dpg::bench

@@ -1,0 +1,126 @@
+// §3.4 — Virtual-address lifetime model + the three mitigation strategies.
+//
+// Part 1 reproduces the paper's arithmetic: "on a 64-bit Linux system (and
+// assuming a maximum of 2^47 bytes of virtual memory for a user program),
+// even an extreme program that allocates a new 4K-page-size object every
+// microsecond, with no reuse of these pages, can operate for 9 hours".
+//
+// Part 2 measures the strategies empirically on a churn loop:
+//   (none)     naive never-reuse: guarded VA grows linearly
+//   (budget)   strategy 1 — recycle oldest freed spans past a budget
+//   (gc)       strategy 2 — periodic conservative scan reclaims unreferenced
+//   (pools)    the headline design — scoped pools recycle everything
+#include <cstdio>
+#include <vector>
+
+#include "core/gc_scan.h"
+#include "core/guarded_heap.h"
+#include "core/guarded_pool.h"
+#include "core/runtime.h"
+
+using namespace dpg;
+
+namespace {
+
+void part1_model() {
+  std::printf("\n--- model: time to exhaust user VA with no reuse ---\n");
+  std::printf("%-24s %12s %12s %12s\n", "allocation rate", "va=2^47",
+              "va=2^46", "va=2^39");
+  struct Rate {
+    const char* label;
+    double pages_per_second;
+  };
+  for (const Rate rate : {Rate{"1 page/us (paper)", 1e6},
+                          Rate{"10k pages/s", 1e4},
+                          Rate{"100 pages/s (server)", 100.0},
+                          Rate{"1 page/s", 1.0}}) {
+    std::printf("%-24s", rate.label);
+    for (const unsigned bits : {47u, 46u, 39u}) {
+      const double hours =
+          core::Runtime::seconds_until_va_exhaustion(rate.pages_per_second,
+                                                     bits) /
+          3600.0;
+      if (hours < 100) {
+        std::printf(" %10.1f h", hours);
+      } else if (hours < 24 * 365 * 3) {
+        std::printf(" %10.1f d", hours / 24);
+      } else {
+        std::printf(" %10.1f y", hours / 24 / 365);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper: 2^47 / (2^12 * 10^6 * 86,400) => ~9 hours at 1 "
+              "page/us)\n");
+}
+
+constexpr int kChurn = 20000;
+
+std::size_t run_no_reuse() {
+  vm::PhysArena arena(std::size_t{1} << 31);
+  core::GuardedHeap heap(arena);
+  for (int i = 0; i < kChurn; ++i) heap.free(heap.malloc(16));
+  return heap.stats().guarded_bytes;
+}
+
+std::size_t run_budget() {
+  vm::PhysArena arena(std::size_t{1} << 31);
+  core::GuardedHeap heap(arena, {.freed_va_budget = 256 * vm::kPageSize});
+  for (int i = 0; i < kChurn; ++i) heap.free(heap.malloc(16));
+  return heap.stats().guarded_bytes;
+}
+
+std::size_t run_gc() {
+  vm::PhysArena arena(std::size_t{1} << 31);
+  core::GuardedHeap heap(arena);
+  core::ConservativeScanner scanner;
+  core::ShadowEngine* engines[] = {&heap.engine()};
+  std::size_t peak = 0;
+  for (int i = 0; i < kChurn; ++i) {
+    heap.free(heap.malloc(16));
+    if (i % 2000 == 1999) {
+      peak = std::max(peak, heap.stats().guarded_bytes);
+      (void)scanner.collect(engines);
+    }
+  }
+  return std::max(peak, heap.stats().guarded_bytes);
+}
+
+std::size_t run_pools() {
+  core::GuardedPoolContext ctx;
+  std::size_t peak = 0;
+  for (int batch = 0; batch < kChurn / 100; ++batch) {
+    core::PoolScope scope(ctx);
+    for (int i = 0; i < 100; ++i) scope.pool().free(scope.pool().alloc(16));
+    peak = std::max(peak, scope.pool().stats().guarded_bytes);
+  }
+  return peak;
+}
+
+void part2_strategies() {
+  std::printf("\n--- measured: guarded VA held after %d alloc/free pairs ---\n",
+              kChurn);
+  std::printf("%-36s %14s\n", "strategy", "VA held (pages)");
+  std::printf("%-36s %14zu\n", "none (naive never-reuse)",
+              run_no_reuse() / vm::kPageSize);
+  std::printf("%-36s %14zu\n", "budget 256 pages (strategy 1)",
+              run_budget() / vm::kPageSize);
+  std::printf("%-36s %14zu  (peak between scans)\n",
+              "conservative GC every 2000 (strategy 2)",
+              run_gc() / vm::kPageSize);
+  std::printf("%-36s %14zu  (peak per pool)\n",
+              "scoped pools of 100 (the design)", run_pools() / vm::kPageSize);
+  std::printf("\nShape: naive grows ~1 page per allocation; every strategy\n"
+              "bounds it by orders of magnitude.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("================================================================\n");
+  std::printf("Section 3.4: avoiding the costs of long-lived pools\n");
+  std::printf("================================================================\n");
+  part1_model();
+  part2_strategies();
+  return 0;
+}

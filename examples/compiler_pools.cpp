@@ -1,0 +1,141 @@
+// The paper's Figure 1 -> Figure 2 pipeline, end to end: parse a PIR
+// program with a dangling p->next->val dereference, run Automatic Pool
+// Allocation over it, print the transformed program, execute it on the
+// guarded runtime, and watch the MMU catch the bug. Then run a *fixed*
+// variant in a loop to show the pool's virtual pages recycling.
+//
+// Build & run:  ./build/examples/compiler_pools
+#include <cstdio>
+
+#include "compiler/interp.h"
+#include "compiler/parser.h"
+#include "compiler/pool_transform.h"
+#include "core/fault_manager.h"
+
+namespace {
+
+// Figure 1: g() builds a 10-node list off p and frees all but the head;
+// f() then reads p->next->val — a dangling pointer use.
+constexpr const char* kFigure1 = R"(
+func main() {
+  call f()
+  ret
+}
+func f() {
+  p = malloc 2
+  call g(p)
+  q = getfield p, 0
+  v = getfield q, 1     # p->next->val : DANGLING
+  out v
+  ret
+}
+func g(p) {
+  i = const 0
+  n = const 9
+  cur = copy p
+loop:
+  c = lt i, n
+  cbr c, body, done
+body:
+  node = malloc 2
+  setfield cur, 0, node
+  setfield node, 1, i
+  cur = copy node
+  one = const 1
+  i = add i, one
+  br loop
+done:
+  zero = const 0
+  t = getfield p, 0
+inner:
+  nz = eq t, zero
+  cbr nz, end, freeit
+freeit:
+  nxt = getfield t, 0
+  free t
+  t = copy nxt
+  br inner
+end:
+  ret
+}
+)";
+
+// The same program with the dangling read removed and full cleanup.
+constexpr const char* kFixed = R"(
+func main() {
+  i = const 0
+  n = const 50
+loop:
+  c = lt i, n
+  cbr c, body, done
+body:
+  call f()
+  one = const 1
+  i = add i, one
+  br loop
+done:
+  ret
+}
+func f() {
+  p = malloc 2
+  call g(p)
+  free p
+  ret
+}
+func g(p) {
+  node = malloc 2
+  seven = const 7
+  setfield node, 1, seven
+  setfield p, 0, node
+  v = getfield node, 1
+  out v
+  zero = const 0
+  setfield p, 0, zero
+  free node
+  ret
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace dpg::compiler;
+
+  std::printf("=== Automatic Pool Allocation on the paper's Figure 1 ===\n\n");
+  const Module original = parse_module(kFigure1);
+  const TransformResult transformed = pool_allocate(original);
+
+  for (const auto& pool : transformed.placement.pools) {
+    std::printf("pool for points-to node %d: home=%s, %zu alloc sites, %s\n",
+                pool.node,
+                transformed.module
+                    .functions[static_cast<std::size_t>(pool.home_function)]
+                    .name.c_str(),
+                pool.sites.size(),
+                pool.global_lifetime ? "global lifetime" : "bounded lifetime");
+  }
+  std::printf("\ntransformed program (compare paper Figure 2):\n%s\n",
+              transformed.module.dump().c_str());
+
+  Interpreter interp(transformed.module, {.backend = Backend::kGuarded});
+  const auto report = dpg::core::catch_dangling([&] { (void)interp.run(); });
+  if (report.has_value()) {
+    std::printf("executing it: DETECTED %s\n\n", report->describe().c_str());
+  } else {
+    std::printf("executing it: dangling use missed?!\n");
+    return 1;
+  }
+
+  std::printf("=== VA recycling on the fixed program (50 pool lifetimes) ===\n");
+  const TransformResult fixed = pool_allocate(parse_module(kFixed));
+  Interpreter loop_interp(fixed.module, {.backend = Backend::kGuarded});
+  (void)loop_interp.run();
+  std::printf("live pools after run:    %zu\n", loop_interp.live_pools());
+  std::printf("physical heap bytes:     %zu\n",
+              loop_interp.context()->arena().physical_bytes());
+  std::printf("recyclable VA pages:     %zu (each f() reused its "
+              "predecessor's pages)\n",
+              loop_interp.context()->recyclable_shadow_bytes() /
+                  dpg::vm::kPageSize);
+  return 0;
+}

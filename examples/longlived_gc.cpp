@@ -1,0 +1,84 @@
+// Long-lived pools and the §3.4 mitigation strategies, demonstrated on a
+// cache-shaped workload: a global pool that lives for the whole process,
+// heavy churn, and three ways to keep its virtual-address usage bounded —
+// budgeted recycling, conservative GC, and batched protection on top.
+//
+// Build & run:  ./build/examples/longlived_gc
+#include <cstdio>
+#include <vector>
+
+#include "core/fault_manager.h"
+#include "core/gc_scan.h"
+#include "core/guarded_heap.h"
+
+namespace {
+
+constexpr int kChurn = 5000;
+
+std::size_t churn_guarded_pages(dpg::core::GuardedHeap& heap) {
+  for (int i = 0; i < kChurn; ++i) {
+    void* p = heap.malloc(32);
+    heap.free(p);
+  }
+  return heap.stats().guarded_bytes / dpg::vm::kPageSize;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("a long-lived pool churns %d objects; guarded VA held after:\n\n",
+              kChurn);
+
+  {
+    dpg::vm::PhysArena arena;
+    dpg::core::GuardedHeap naive(arena);
+    std::printf("  %-44s %6zu pages\n", "no strategy (detect forever):",
+                churn_guarded_pages(naive));
+  }
+  {
+    dpg::vm::PhysArena arena;
+    dpg::core::GuardedHeap budgeted(
+        arena, {.freed_va_budget = 128 * dpg::vm::kPageSize});
+    std::printf("  %-44s %6zu pages\n", "strategy 1, budget = 128 pages:",
+                churn_guarded_pages(budgeted));
+  }
+  {
+    dpg::vm::PhysArena arena;
+    dpg::core::GuardedHeap swept(arena);
+    dpg::core::ConservativeScanner scanner;
+    dpg::core::ShadowEngine* engines[] = {&swept.engine()};
+    for (int i = 0; i < kChurn; ++i) {
+      void* p = swept.malloc(32);
+      swept.free(p);
+      if (i % 1000 == 999) (void)scanner.collect(engines);
+    }
+    (void)scanner.collect(engines);
+    std::printf("  %-44s %6zu pages\n", "strategy 2, GC sweep every 1000:",
+                swept.stats().guarded_bytes / dpg::vm::kPageSize);
+  }
+
+  // The GC is precise about what it may NOT reclaim: a stale pointer still
+  // stored in a root keeps its span protected, and it still traps.
+  std::printf("\nGC retention: a rooted stale pointer keeps its trap armed\n");
+  dpg::vm::PhysArena arena;
+  dpg::core::GuardedHeap heap(arena);
+  dpg::core::ConservativeScanner scanner;
+  dpg::core::ShadowEngine* engines[] = {&heap.engine()};
+
+  static char* rooted;  // visible to the scanner
+  rooted = static_cast<char*>(heap.malloc(64, __LINE__));
+  heap.free(rooted, __LINE__);
+  for (int i = 0; i < 100; ++i) heap.free(heap.malloc(64));
+  scanner.add_root(&rooted, sizeof(rooted));
+  const auto result = scanner.collect(engines);
+  std::printf("  swept %zu spans, retained %zu (the rooted one)\n",
+              result.reclaimed, result.retained);
+
+  const auto report = dpg::core::catch_dangling([&] {
+    volatile char c = rooted[0];
+    (void)c;
+  });
+  std::printf("  dereferencing it: %s\n",
+              report ? report->describe().c_str() : "NOT DETECTED (bug!)");
+  return report.has_value() ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+# The paper's Figure 1: g() builds a 10-node list off p and frees all but
+# the head; f() then reads p->next->val — a dangling pointer use.
+#
+#   pirc examples/pir/figure1.pir              -> report + exit 42
+#   pirc --transform examples/pir/figure1.pir  -> compare paper Figure 2
+func main() {
+  call f()
+  ret
+}
+func f() {
+  p = malloc 2
+  call g(p)
+  q = getfield p, 0
+  v = getfield q, 1
+  out v
+  ret
+}
+func g(p) {
+  i = const 0
+  n = const 9
+  cur = copy p
+loop:
+  c = lt i, n
+  cbr c, body, done
+body:
+  node = malloc 2
+  setfield cur, 0, node
+  setfield node, 1, i
+  cur = copy node
+  one = const 1
+  i = add i, one
+  br loop
+done:
+  zero = const 0
+  t = getfield p, 0
+inner:
+  nz = eq t, zero
+  cbr nz, end, freeit
+freeit:
+  nxt = getfield t, 0
+  free t
+  t = copy nxt
+  br inner
+end:
+  ret
+}

@@ -1,0 +1,58 @@
+# A clean program: builds a binary tree of depth given on the command line,
+# sums it, frees it, prints the sum.
+#
+#   pirc examples/pir/sumtree.pir -- 6
+func main(d) {
+  t = call build(d)
+  s = call total(t)
+  out s
+  call teardown(t)
+  ret
+}
+func build(d) {
+  zero = const 0
+  z = eq d, zero
+  cbr z, leafcase, inner
+leafcase:
+  nil = const 0
+  ret nil
+inner:
+  p = malloc 3
+  one = const 1
+  dm = sub d, one
+  l = call build(dm)
+  r = call build(dm)
+  setfield p, 0, l
+  setfield p, 1, r
+  setfield p, 2, d
+  ret p
+}
+func total(t) {
+  zero = const 0
+  z = eq t, zero
+  cbr z, basecase, walk
+basecase:
+  ret zero
+walk:
+  l = getfield t, 0
+  r = getfield t, 1
+  v = getfield t, 2
+  sl = call total(l)
+  sr = call total(r)
+  s = add sl, sr
+  s = add s, v
+  ret s
+}
+func teardown(t) {
+  zero = const 0
+  z = eq t, zero
+  cbr z, done, walk
+walk:
+  l = getfield t, 0
+  r = getfield t, 1
+  call teardown(l)
+  call teardown(r)
+  free t
+done:
+  ret
+}

@@ -1,0 +1,86 @@
+#include "alloc/pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dpg::alloc {
+
+namespace {
+constexpr std::size_t align16(std::size_t n) { return (n + 15) & ~std::size_t{15}; }
+}  // namespace
+
+Pool::Pool(CanonicalSource& source, std::size_t elem_size_hint)
+    : source_(source), elem_hint_(elem_size_hint) {}
+
+Pool::~Pool() { destroy(); }
+
+void Pool::new_extent(std::size_t min_bytes) {
+  std::size_t want = std::max(kMinExtent, vm::page_up(min_bytes));
+  if (elem_hint_ > 0) {
+    // Size extents to hold a round number of hinted elements.
+    const std::size_t stride = align16(elem_hint_ + kHeaderSize);
+    want = std::max(want, vm::page_up(stride * 64));
+  }
+  const vm::PageRange extent = source_.obtain(want);
+  extents_.push_back(extent);
+  stats_.extent_bytes += extent.length;
+  bump_ = extent.base;
+  bump_end_ = extent.end();
+}
+
+void* Pool::malloc(std::size_t size) {
+  if (destroyed_) throw std::logic_error("poolalloc on destroyed pool");
+  if (size == 0) size = 1;
+  const std::size_t stride = align16(size + kHeaderSize);
+  stats_.allocations++;
+  stats_.live_objects++;
+
+  BlockHeader* header = nullptr;
+  if (auto it = buckets_.find(stride); it != buckets_.end() && it->second) {
+    header = reinterpret_cast<BlockHeader*>(it->second);
+    it->second = it->second->next;
+  } else {
+    if (bump_ + stride > bump_end_) new_extent(stride);
+    header = reinterpret_cast<BlockHeader*>(bump_);
+    bump_ += stride;
+  }
+  header->payload_size = size;
+  header->magic = kMagicLive;
+  header->stride = static_cast<std::uint32_t>(stride);
+  return reinterpret_cast<std::byte*>(header) + kHeaderSize;
+}
+
+void Pool::free(void* p) {
+  if (p == nullptr) return;
+  if (destroyed_) throw std::logic_error("poolfree on destroyed pool");
+  auto* header = reinterpret_cast<BlockHeader*>(static_cast<std::byte*>(p) -
+                                                kHeaderSize);
+  if (header->magic != kMagicLive) {
+    throw std::logic_error("Pool::free: invalid or double free");
+  }
+  header->magic = kMagicFree;
+  stats_.frees++;
+  stats_.live_objects--;
+  auto* block = reinterpret_cast<FreeBlock*>(header);
+  FreeBlock*& head = buckets_[header->stride];
+  block->next = head;
+  head = block;
+}
+
+std::size_t Pool::size_of(const void* p) const {
+  const auto* header = reinterpret_cast<const BlockHeader*>(
+      static_cast<const std::byte*>(p) - kHeaderSize);
+  return static_cast<std::size_t>(header->payload_size);
+}
+
+void Pool::destroy() {
+  if (destroyed_) return;
+  destroyed_ = true;
+  for (const vm::PageRange& extent : extents_) source_.recycle(extent);
+  extents_.clear();
+  buckets_.clear();
+  bump_ = bump_end_ = 0;
+}
+
+}  // namespace dpg::alloc

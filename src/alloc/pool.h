@@ -1,0 +1,87 @@
+// Pool — the Automatic Pool Allocation runtime (Lattner & Adve, PLDI'05),
+// reimplemented from scratch.
+//
+// A pool is "essentially a distinct heap, managed internally using some
+// allocation algorithm" (paper Section 3.3). The compiler transformation (or
+// a hand-placed PoolScope in our workloads) brackets each pool's lifetime
+// with poolinit/pooldestroy; the crucial contract the guard layer consumes is
+// that *no live pointers into the pool exist after destroy()* — which is why
+// every canonical page the pool ever owned may be recycled at that point.
+//
+// Internals: bump-pointer carving from multi-page extents plus size-bucketed
+// free lists for poolfree'd blocks, with the same 16-byte inline header
+// convention as SegregatedHeap so the guard layer can read object sizes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "alloc/alloc_iface.h"
+
+namespace dpg::alloc {
+
+struct PoolStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::size_t extent_bytes = 0;
+  std::size_t live_objects = 0;
+};
+
+class Pool final : public MallocLike {
+ public:
+  // `elem_size_hint` mirrors poolinit's element-size argument: extents are
+  // sized so the hinted element packs without waste. Zero means unknown.
+  explicit Pool(CanonicalSource& source, std::size_t elem_size_hint = 0);
+  ~Pool() override;
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  // poolalloc / poolfree.
+  [[nodiscard]] void* malloc(std::size_t size) override;
+  void free(void* p) override;
+  [[nodiscard]] std::size_t size_of(const void* p) const override;
+
+  // pooldestroy: recycles every canonical extent back to the source (and
+  // thence to the shared free list). Idempotent; also run by the destructor.
+  void destroy();
+
+  [[nodiscard]] bool destroyed() const noexcept { return destroyed_; }
+  [[nodiscard]] const std::vector<vm::PageRange>& extents() const noexcept {
+    return extents_;
+  }
+  [[nodiscard]] PoolStats stats() const noexcept { return stats_; }
+
+  static constexpr std::size_t kHeaderSize = 16;
+  static constexpr std::size_t kMinExtent = 4 * vm::kPageSize;
+
+ private:
+  struct BlockHeader {
+    std::uint64_t payload_size;
+    std::uint32_t magic;
+    std::uint32_t stride;  // bucket key: header + padded payload
+  };
+  static_assert(sizeof(BlockHeader) == kHeaderSize);
+
+  static constexpr std::uint32_t kMagicLive = 0x900D9001u;
+  static constexpr std::uint32_t kMagicFree = 0xF9EED001u;
+
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+
+  void new_extent(std::size_t min_bytes);
+
+  CanonicalSource& source_;
+  std::size_t elem_hint_;
+  std::vector<vm::PageRange> extents_;
+  std::uintptr_t bump_ = 0;
+  std::uintptr_t bump_end_ = 0;
+  std::map<std::size_t, FreeBlock*> buckets_;  // stride -> free list
+  PoolStats stats_;
+  bool destroyed_ = false;
+};
+
+}  // namespace dpg::alloc

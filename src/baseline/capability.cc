@@ -1,0 +1,97 @@
+#include "baseline/capability.h"
+
+#include <cstdlib>
+
+namespace dpg::baseline {
+
+namespace {
+[[nodiscard]] std::size_t hash_cap(std::uint64_t cap, std::size_t mask) noexcept {
+  return static_cast<std::size_t>((cap * 0x9E3779B97F4A7C15ull) >> 13) & mask;
+}
+}  // namespace
+
+CapabilityStore::CapabilityStore(std::size_t initial_slots)
+    : slots_(initial_slots, 0) {}
+
+CapabilityStore& CapabilityStore::global() {
+  static CapabilityStore store;
+  return store;
+}
+
+std::uint64_t CapabilityStore::issue() {
+  if ((used_ + 1) * 2 > slots_.size()) grow();
+  const std::uint64_t cap = next_cap_++;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash_cap(cap, mask);
+  while (slots_[i] > 1) i = (i + 1) & mask;
+  if (slots_[i] == 0) used_++;
+  slots_[i] = cap;
+  live_++;
+  return cap;
+}
+
+bool CapabilityStore::revoke(std::uint64_t cap) {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash_cap(cap, mask);
+  while (slots_[i] != 0) {
+    if (slots_[i] == cap) {
+      slots_[i] = 1;  // tombstone
+      live_--;
+      return true;
+    }
+    i = (i + 1) & mask;
+  }
+  return false;
+}
+
+bool CapabilityStore::live(std::uint64_t cap) const noexcept {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash_cap(cap, mask);
+  while (slots_[i] != 0) {
+    if (slots_[i] == cap) return true;
+    i = (i + 1) & mask;
+  }
+  return false;
+}
+
+void CapabilityStore::grow() {
+  std::vector<std::uint64_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, 0);
+  used_ = 0;
+  live_ = 0;
+  for (std::uint64_t cap : old) {
+    if (cap > 1) {
+      const std::size_t mask = slots_.size() - 1;
+      std::size_t i = hash_cap(cap, mask);
+      while (slots_[i] != 0) i = (i + 1) & mask;
+      slots_[i] = cap;
+      used_++;
+      live_++;
+    }
+  }
+}
+
+CapAllocator::Allocation CapAllocator::allocate(std::size_t size) {
+  // Header holds the capability so free() can revoke it — SafeC keeps the
+  // same association through its pointer metadata.
+  auto* block = static_cast<std::uint64_t*>(std::malloc(size + 16));
+  if (block == nullptr) throw std::bad_alloc{};
+  const std::uint64_t cap = CapabilityStore::global().issue();
+  block[0] = cap;
+  return Allocation{block + 2, cap};
+}
+
+void CapAllocator::deallocate(void* payload) {
+  if (payload == nullptr) return;
+  auto* block = static_cast<std::uint64_t*>(payload) - 2;
+  if (!CapabilityStore::global().revoke(block[0])) {
+    core::DanglingReport report;
+    report.kind = core::AccessKind::kFree;
+    report.fault_address = reinterpret_cast<std::uintptr_t>(payload);
+    core::FaultManager::instance().raise_software(report);
+  }
+  block[0] = 0;
+  std::free(block);
+}
+
+}  // namespace dpg::baseline

@@ -1,0 +1,101 @@
+#include "baseline/efence.h"
+
+#include <sys/mman.h>
+
+#include <new>
+
+#include "core/fault_manager.h"
+#include "vm/vm_stats.h"
+
+namespace dpg::baseline {
+
+EfenceAllocator::~EfenceAllocator() {
+  std::lock_guard lock(mu_);
+  while (head_.next != &head_) {
+    core::ObjectRecord* rec = head_.next;
+    core::ShadowRegistry::global().erase(*rec);
+    munmap(reinterpret_cast<void*>(rec->shadow_base), rec->span_length);
+    head_.next = rec->next;
+    rec->next->prev = &head_;
+    delete rec;
+  }
+}
+
+void* EfenceAllocator::malloc(std::size_t size, core::SiteId site) {
+  if (size == 0) size = 1;
+  const std::size_t span = vm::page_up(size);
+  void* base = mmap(nullptr, span, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  vm::syscall_counters().mmap.fetch_add(1, std::memory_order_relaxed);
+  if (base == MAP_FAILED) throw std::bad_alloc{};
+
+  // Electric Fence places the object flush against the end of its page run
+  // (to catch overruns with a guard page); we keep the placement, 8-aligned.
+  const std::uintptr_t user =
+      (vm::addr(base) + span - size) & ~std::uintptr_t{7};
+
+  auto* rec = new core::ObjectRecord;
+  rec->shadow_base = vm::addr(base);
+  rec->span_length = span;
+  rec->user_shadow = user;
+  rec->user_size = size;
+  rec->canonical = vm::addr(base);  // no aliasing: canonical == shadow
+  rec->alloc_site = site;
+  rec->state.store(core::ObjectState::kLive, std::memory_order_release);
+  rec->prev = head_.prev;
+  rec->next = &head_;
+  head_.prev->next = rec;
+  head_.prev = rec;
+  core::ShadowRegistry::global().insert(*rec);
+  core::FaultManager::instance().install();
+
+  std::lock_guard lock(mu_);
+  stats_.allocations++;
+  stats_.mapped_bytes += span;
+  return reinterpret_cast<void*>(user);
+}
+
+void EfenceAllocator::free(void* p, core::SiteId site) {
+  if (p == nullptr) return;
+  std::unique_lock lock(mu_);
+  const core::ObjectRecord* found =
+      core::ShadowRegistry::global().lookup(vm::addr(p));
+  if (found == nullptr || found->user_shadow != vm::addr(p)) {
+    core::DanglingReport report;
+    report.kind = core::AccessKind::kInvalidFree;
+    report.fault_address = vm::addr(p);
+    lock.unlock();
+    core::FaultManager::instance().raise_software(report);
+  }
+  if (found->state.load(std::memory_order_acquire) ==
+      core::ObjectState::kFreed) {
+    core::DanglingReport report;
+    report.kind = core::AccessKind::kFree;
+    report.fault_address = vm::addr(p);
+    report.object_base = found->user_shadow;
+    report.object_size = found->user_size;
+    report.alloc_site = found->alloc_site;
+    report.free_site = found->free_site;
+    lock.unlock();
+    core::FaultManager::instance().raise_software(report);
+  }
+  auto* rec = const_cast<core::ObjectRecord*>(found);
+  if (mprotect(reinterpret_cast<void*>(rec->shadow_base), rec->span_length,
+               PROT_NONE) != 0) {
+    throw std::bad_alloc{};
+  }
+  vm::syscall_counters().mprotect.fetch_add(1, std::memory_order_relaxed);
+  rec->free_site = site;
+  rec->state.store(core::ObjectState::kFreed, std::memory_order_release);
+  stats_.frees++;
+  stats_.protected_bytes += rec->span_length;
+  // Never unmapped, never reused: the pages (and, pre-protection, their
+  // physical frames) stay pinned — the memory blow-up the paper criticizes.
+}
+
+EfenceStats EfenceAllocator::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace dpg::baseline

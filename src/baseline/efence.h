@@ -1,0 +1,50 @@
+// EfenceAllocator — the Electric Fence / PageHeap baseline (paper Section 5.3).
+//
+// "Both the tools allocate only one memory object per virtual and physical
+//  page, and do not attempt to share a physical page through different
+//  virtual pages. This means that even small allocations use up a page of
+//  actual physical memory."
+//
+// Each allocation gets its own anonymous mapping (object placed at the *end*
+// of the mapping, Electric Fence style, with an optional trailing guard
+// page); free() protects the pages and — faithfully to EF_PROTECT_FREE —
+// never reuses them. Records are registered in the shared ShadowRegistry so
+// dangling uses produce the same diagnostics as dpguard, making head-to-head
+// tests and the physical-memory comparison (bench_addrspace) possible.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+#include "core/registry.h"
+#include "core/stats.h"
+
+namespace dpg::baseline {
+
+struct EfenceStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::size_t mapped_bytes = 0;     // == physical bytes: every page is private
+  std::size_t protected_bytes = 0;  // freed, never reused
+};
+
+class EfenceAllocator {
+ public:
+  EfenceAllocator() = default;
+  ~EfenceAllocator();
+
+  EfenceAllocator(const EfenceAllocator&) = delete;
+  EfenceAllocator& operator=(const EfenceAllocator&) = delete;
+
+  [[nodiscard]] void* malloc(std::size_t size, core::SiteId site = 0);
+  void free(void* p, core::SiteId site = 0);
+
+  [[nodiscard]] EfenceStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  core::ObjectRecord head_{.prev = &head_, .next = &head_};
+  EfenceStats stats_;
+};
+
+}  // namespace dpg::baseline

@@ -1,0 +1,100 @@
+#include "baseline/memcheck.h"
+
+#include <malloc.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+
+namespace dpg::baseline {
+
+void ShadowBitmap::mark(std::uintptr_t addr, std::size_t len,
+                        bool addressable) {
+  for (std::size_t i = 0; i < len;) {
+    const std::uintptr_t a = addr + i;
+    const std::uintptr_t chunk_key = a / kChunkBytes;
+    auto& chunk = chunks_[chunk_key];
+    if (chunk == nullptr) chunk = std::make_unique<Chunk>();
+    const std::size_t in_chunk = a % kChunkBytes;
+    const std::size_t n = std::min(len - i, kChunkBytes - in_chunk);
+    for (std::size_t b = 0; b < n; ++b) {
+      const std::size_t bit = in_chunk + b;
+      if (addressable) {
+        chunk->bits[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+      } else {
+        chunk->bits[bit / 8] &= static_cast<std::uint8_t>(~(1u << (bit % 8)));
+      }
+    }
+    i += n;
+  }
+}
+
+bool ShadowBitmap::readable(std::uintptr_t addr, std::size_t len) const {
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uintptr_t a = addr + i;
+    const auto it = chunks_.find(a / kChunkBytes);
+    if (it == chunks_.end()) return false;
+    const std::size_t bit = a % kChunkBytes;
+    if ((it->second->bits[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+MemcheckContext& MemcheckContext::global() {
+  static MemcheckContext* ctx = new MemcheckContext();
+  return *ctx;
+}
+
+void* MemcheckContext::allocate(std::size_t size) {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  bitmap_.mark(reinterpret_cast<std::uintptr_t>(p), size, true);
+  stats_.allocations++;
+  return p;
+}
+
+void MemcheckContext::deallocate(void* p) {
+  if (p == nullptr) return;
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  if (!bitmap_.readable(addr, 1)) {
+    // Either never allocated or already freed: memcheck reports an invalid
+    // free in both cases (it cannot always distinguish them — a heuristic
+    // tool's best effort).
+    core::DanglingReport report;
+    report.kind = core::AccessKind::kFree;
+    report.fault_address = addr;
+    core::FaultManager::instance().raise_software(report);
+  }
+  // We do not know the exact size without malloc_usable_size; track it via a
+  // conservative 1-byte unmark plus quarantine bookkeeping using the usable
+  // size glibc reports.
+  const std::size_t size = malloc_usable_size(p);
+  bitmap_.mark(addr, size, false);
+  quarantine_.push_back(Quarantined{p, size});
+  stats_.frees++;
+  stats_.quarantine_bytes += size;
+  while (stats_.quarantine_bytes > kQuarantineLimit && !quarantine_.empty()) {
+    Quarantined victim = quarantine_.front();
+    quarantine_.pop_front();
+    stats_.quarantine_bytes -= victim.size;
+    stats_.quarantine_evictions++;
+    std::free(victim.block);  // after this, dangling uses go undetected
+  }
+}
+
+void MemcheckContext::check(const void* p, std::size_t len,
+                            core::AccessKind kind) {
+  stats_.checks++;
+  if (p != nullptr &&
+      bitmap_.readable(reinterpret_cast<std::uintptr_t>(p), len)) {
+    return;
+  }
+  core::DanglingReport report;
+  report.kind = kind;
+  report.fault_address = reinterpret_cast<std::uintptr_t>(p);
+  report.object_size = len;
+  core::FaultManager::instance().raise_software(report);
+}
+
+}  // namespace dpg::baseline

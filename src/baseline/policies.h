@@ -1,0 +1,393 @@
+// Allocation/access policies — one type per evaluated configuration.
+//
+// Every workload in src/workloads is a template over a Policy, so each
+// configuration in Tables 1–3 runs literally the same application code:
+//
+//   NativePolicy        "native": plain malloc, raw pointers, no pools.
+//   PaPolicy            "PA": pool allocation only (the PA column) — pools
+//                       with bounded lifetimes, no guard, no syscalls.
+//   PaDummySyscallPolicy"PA + dummy syscalls": PA plus one dummy mremap-class
+//                       syscall per allocation and one dummy mprotect per
+//                       deallocation, isolating syscall cost from TLB cost
+//                       exactly as in the paper's methodology.
+//   GuardedPolicy       "Our approach": full shadow-page remapping with pool-
+//                       based VA reuse.
+//   GuardedNoPoolPolicy ablation: shadow pages without any VA reuse (the
+//                       debugging / binary-only mode).
+//   EfencePolicy        Electric Fence: one object per virtual+physical page.
+//   CapabilityPolicy    SafeC/Xu-style fat pointers + global capability store
+//                       (per-access software check).
+//   MemcheckPolicy      Valgrind-memcheck stand-in (per-access bitmap check).
+//
+// Policy concept:
+//   using ptr<T>;                          // handle type (raw or checked)
+//   static ptr<T> make<T>(args...);        // allocate + construct
+//   static ptr<T> alloc_array<T>(n);       // allocate n T's (no construct)
+//   static void dispose(ptr<T>);           // free (no destructor: workloads
+//                                          //   use trivially destructible types)
+//   struct Scope;                          // RAII pool lifetime (no-op when
+//                                          //   the scheme has no pools)
+//   static const char* name();
+//   static void reset();                   // drop cross-run state where possible
+//
+// MMU-based policies use raw T* handles: their per-access cost is exactly
+// zero instructions, which is the paper's core claim. Software baselines use
+// checked handles: their per-access cost is visible in the same source code.
+#pragma once
+
+#include <sys/mman.h>
+
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "alloc/pool.h"
+#include "baseline/capability.h"
+#include "baseline/efence.h"
+#include "baseline/memcheck.h"
+#include "core/guarded_pool.h"
+#include "core/runtime.h"
+#include "vm/vm_stats.h"
+
+namespace dpg::baseline {
+
+// ---------------------------------------------------------------------------
+// Native
+// ---------------------------------------------------------------------------
+struct NativePolicy {
+  template <typename T>
+  using ptr = T*;
+
+  static const char* name() { return "native"; }
+
+  template <typename T, typename... Args>
+  static T* make(Args&&... args) {
+    void* raw = std::malloc(sizeof(T));
+    if (raw == nullptr) throw std::bad_alloc{};
+    return ::new (raw) T{std::forward<Args>(args)...};
+  }
+  template <typename T>
+  static T* alloc_array(std::size_t n) {
+    void* raw = std::malloc(n * sizeof(T));
+    if (raw == nullptr) throw std::bad_alloc{};
+    return static_cast<T*>(raw);
+  }
+  template <typename T>
+  static void dispose(T* p) {
+    std::free(p);
+  }
+  struct Scope {
+    explicit Scope(std::size_t = 0) {}
+  };
+  static void reset() {}
+};
+
+// ---------------------------------------------------------------------------
+// Pool allocation only (no guard) — thread-local scope stack over alloc::Pool.
+// ---------------------------------------------------------------------------
+namespace detail {
+
+struct PaState {
+  alloc::MmapSource source;
+  alloc::Pool global_pool{source};  // allocations outside any scope
+};
+inline PaState& pa_state() {
+  static PaState* s = new PaState();
+  return *s;
+}
+
+struct PaScopeStack {
+  static inline thread_local alloc::Pool* current = nullptr;
+};
+
+// One dummy syscall of each class, against a scratch page — the paper's
+// "PA + dummy syscalls" instrumentation.
+struct DummySyscalls {
+  static void* scratch() {
+    static void* page = mmap(nullptr, vm::kPageSize, PROT_READ | PROT_WRITE,
+                             MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    return page;
+  }
+  static void on_alloc() {
+    // mremap to the same size: enters the kernel, changes nothing.
+    void* r = mremap(scratch(), vm::kPageSize, vm::kPageSize, 0);
+    (void)r;
+    vm::syscall_counters().mremap.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void on_free() {
+    mprotect(scratch(), vm::kPageSize, PROT_READ | PROT_WRITE);
+    vm::syscall_counters().mprotect.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace detail
+
+template <bool kDummySyscalls>
+struct PaPolicyImpl {
+  template <typename T>
+  using ptr = T*;
+
+  static const char* name() {
+    return kDummySyscalls ? "PA+dummy-syscalls" : "PA";
+  }
+
+  static alloc::Pool& active_pool() {
+    alloc::Pool* p = detail::PaScopeStack::current;
+    return p != nullptr ? *p : detail::pa_state().global_pool;
+  }
+
+  template <typename T, typename... Args>
+  static T* make(Args&&... args) {
+    if constexpr (kDummySyscalls) detail::DummySyscalls::on_alloc();
+    void* raw = active_pool().malloc(sizeof(T));
+    return ::new (raw) T{std::forward<Args>(args)...};
+  }
+  template <typename T>
+  static T* alloc_array(std::size_t n) {
+    if constexpr (kDummySyscalls) detail::DummySyscalls::on_alloc();
+    return static_cast<T*>(active_pool().malloc(n * sizeof(T)));
+  }
+  template <typename T>
+  static void dispose(T* p) {
+    if (p == nullptr) return;
+    if constexpr (kDummySyscalls) detail::DummySyscalls::on_free();
+    // poolfree against the pool that owns the pointer: with scoped usage the
+    // active pool is the owner (workloads free within the allocating scope).
+    active_pool().free(p);
+  }
+
+  struct Scope {
+    explicit Scope(std::size_t elem_hint = 0)
+        : pool_(detail::pa_state().source, elem_hint),
+          parent_(detail::PaScopeStack::current) {
+      detail::PaScopeStack::current = &pool_;
+    }
+    ~Scope() { detail::PaScopeStack::current = parent_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    alloc::Pool pool_;
+    alloc::Pool* parent_;
+  };
+
+  // Global-pool allocations: data whose points-to node escapes to globals
+  // lives in a never-destroyed pool regardless of the active scope (the ftpd
+  // pattern of §4.3).
+  template <typename T, typename... Args>
+  static T* make_outside_scope(Args&&... args) {
+    if constexpr (kDummySyscalls) detail::DummySyscalls::on_alloc();
+    void* raw = detail::pa_state().global_pool.malloc(sizeof(T));
+    return ::new (raw) T{std::forward<Args>(args)...};
+  }
+  template <typename T>
+  static void dispose_outside_scope(T* p) {
+    if (p == nullptr) return;
+    if constexpr (kDummySyscalls) detail::DummySyscalls::on_free();
+    detail::pa_state().global_pool.free(p);
+  }
+
+  static void reset() {}
+};
+
+using PaPolicy = PaPolicyImpl<false>;
+using PaDummySyscallPolicy = PaPolicyImpl<true>;
+
+// ---------------------------------------------------------------------------
+// Our approach — guarded pools with shared VA reuse.
+// ---------------------------------------------------------------------------
+namespace detail {
+
+struct GuardedState {
+  // §3.4 strategy 1 as the production default: freed spans of a long-lived
+  // pool are recycled once they exceed a generous budget, bounding virtual
+  // address usage AND kernel VMA count ("the page table entry is tied up for
+  // each non-reusable virtual page" — the paper's second cost). 128 MiB of
+  // guarded freed spans ≈ 32k pages, well inside vm.max_map_count.
+  core::GuardedPoolContext ctx{core::GuardConfig{
+      .freed_va_budget = std::size_t{128} << 20}};
+  core::GuardedPool global_pool{ctx};  // long-lived "global pool" (§3.4)
+};
+inline GuardedState& guarded_state() {
+  static GuardedState* s = new GuardedState();
+  return *s;
+}
+
+}  // namespace detail
+
+struct GuardedPolicy {
+  template <typename T>
+  using ptr = T*;
+
+  static const char* name() { return "dpguard"; }
+
+  static core::GuardedPool& active_pool() {
+    core::PoolScope* scope = core::PoolScope::current();
+    return scope != nullptr ? scope->pool() : detail::guarded_state().global_pool;
+  }
+
+  template <typename T, typename... Args>
+  static T* make(Args&&... args) {
+    void* raw = active_pool().alloc(sizeof(T));
+    return ::new (raw) T{std::forward<Args>(args)...};
+  }
+  template <typename T>
+  static T* alloc_array(std::size_t n) {
+    return static_cast<T*>(active_pool().alloc(n * sizeof(T)));
+  }
+  template <typename T>
+  static void dispose(T* p) {
+    if (p != nullptr) active_pool().free(p);
+  }
+
+  struct Scope {
+    explicit Scope(std::size_t elem_hint = 0)
+        : scope_(detail::guarded_state().ctx, elem_hint) {}
+
+   private:
+    core::PoolScope scope_;
+  };
+
+  template <typename T, typename... Args>
+  static T* make_outside_scope(Args&&... args) {
+    void* raw = detail::guarded_state().global_pool.alloc(sizeof(T));
+    return ::new (raw) T{std::forward<Args>(args)...};
+  }
+  template <typename T>
+  static void dispose_outside_scope(T* p) {
+    if (p != nullptr) detail::guarded_state().global_pool.free(p);
+  }
+
+  static core::GuardedPoolContext& context() {
+    return detail::guarded_state().ctx;
+  }
+  static core::GuardedPool& global_pool() {
+    return detail::guarded_state().global_pool;
+  }
+  static void reset() {}
+};
+
+// Ablation: guard without pools (no VA reuse at all) — the binary-only /
+// debugging configuration.
+struct GuardedNoPoolPolicy {
+  template <typename T>
+  using ptr = T*;
+
+  static const char* name() { return "dpguard-nopool"; }
+
+  static core::GuardedHeap& heap() {
+    static core::Runtime& rt = core::Runtime::instance();
+    return rt.heap();
+  }
+
+  template <typename T, typename... Args>
+  static T* make(Args&&... args) {
+    return ::new (heap().malloc(sizeof(T))) T{std::forward<Args>(args)...};
+  }
+  template <typename T>
+  static T* alloc_array(std::size_t n) {
+    return static_cast<T*>(heap().malloc(n * sizeof(T)));
+  }
+  template <typename T>
+  static void dispose(T* p) {
+    if (p != nullptr) heap().free(p);
+  }
+  struct Scope {
+    explicit Scope(std::size_t = 0) {}
+  };
+  static void reset() {}
+};
+
+// ---------------------------------------------------------------------------
+// Electric Fence
+// ---------------------------------------------------------------------------
+struct EfencePolicy {
+  template <typename T>
+  using ptr = T*;
+
+  static const char* name() { return "efence"; }
+
+  static EfenceAllocator& allocator() {
+    static EfenceAllocator* a = new EfenceAllocator();
+    return *a;
+  }
+
+  template <typename T, typename... Args>
+  static T* make(Args&&... args) {
+    return ::new (allocator().malloc(sizeof(T))) T{std::forward<Args>(args)...};
+  }
+  template <typename T>
+  static T* alloc_array(std::size_t n) {
+    return static_cast<T*>(allocator().malloc(n * sizeof(T)));
+  }
+  template <typename T>
+  static void dispose(T* p) {
+    if (p != nullptr) allocator().free(p);
+  }
+  struct Scope {
+    explicit Scope(std::size_t = 0) {}
+  };
+  static void reset() {}
+};
+
+// ---------------------------------------------------------------------------
+// Capability store (per-access software check, fat pointers)
+// ---------------------------------------------------------------------------
+struct CapabilityPolicy {
+  template <typename T>
+  using ptr = cap_ptr<T>;
+
+  static const char* name() { return "capability"; }
+
+  template <typename T, typename... Args>
+  static cap_ptr<T> make(Args&&... args) {
+    const CapAllocator::Allocation a = CapAllocator::allocate(sizeof(T));
+    ::new (a.payload) T{std::forward<Args>(args)...};
+    return cap_ptr<T>(static_cast<T*>(a.payload), a.capability);
+  }
+  template <typename T>
+  static cap_ptr<T> alloc_array(std::size_t n) {
+    return CapAllocator::alloc_array<T>(n);
+  }
+  template <typename T>
+  static void dispose(cap_ptr<T> p) {
+    if (p) CapAllocator::deallocate(p.raw());
+  }
+  struct Scope {
+    explicit Scope(std::size_t = 0) {}
+  };
+  static void reset() {}
+};
+
+// ---------------------------------------------------------------------------
+// Memcheck-lite (Valgrind stand-in)
+// ---------------------------------------------------------------------------
+struct MemcheckPolicy {
+  template <typename T>
+  using ptr = mc_ptr<T>;
+
+  static const char* name() { return "memcheck-lite"; }
+
+  template <typename T, typename... Args>
+  static mc_ptr<T> make(Args&&... args) {
+    void* raw = MemcheckContext::global().allocate(sizeof(T));
+    ::new (raw) T{std::forward<Args>(args)...};
+    return mc_ptr<T>(static_cast<T*>(raw));
+  }
+  template <typename T>
+  static mc_ptr<T> alloc_array(std::size_t n) {
+    return mc_ptr<T>(
+        static_cast<T*>(MemcheckContext::global().allocate(n * sizeof(T))));
+  }
+  template <typename T>
+  static void dispose(mc_ptr<T> p) {
+    if (p) MemcheckContext::global().deallocate(p.raw());
+  }
+  struct Scope {
+    explicit Scope(std::size_t = 0) {}
+  };
+  static void reset() {}
+};
+
+}  // namespace dpg::baseline

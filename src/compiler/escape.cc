@@ -1,0 +1,214 @@
+#include "compiler/escape.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <stdexcept>
+
+namespace dpg::compiler {
+
+namespace {
+
+// Call graph with Tarjan SCC condensation. Direct calls only (PIR has no
+// function pointers).
+struct CallGraph {
+  std::vector<std::vector<int>> callees;   // per function
+  std::vector<int> scc_of;                 // function -> SCC id
+  std::vector<std::vector<int>> scc_members;
+  std::vector<std::set<int>> scc_succ;     // condensed DAG edges
+  std::vector<bool> scc_trivial;           // single function, no self loop
+
+  explicit CallGraph(const Module& module) {
+    const int n = static_cast<int>(module.functions.size());
+    callees.resize(static_cast<std::size_t>(n));
+    std::vector<std::set<int>> edge_set(static_cast<std::size_t>(n));
+    for (int f = 0; f < n; ++f) {
+      for (const Instr& ins : module.functions[static_cast<std::size_t>(f)].body) {
+        if (ins.op == Op::kCall) {
+          const auto it = module.function_index.find(ins.callee);
+          if (it != module.function_index.end()) edge_set[static_cast<std::size_t>(f)].insert(it->second);
+        }
+      }
+      callees[static_cast<std::size_t>(f)].assign(edge_set[static_cast<std::size_t>(f)].begin(),
+                                                  edge_set[static_cast<std::size_t>(f)].end());
+    }
+    tarjan(n);
+    condense(n);
+  }
+
+  void tarjan(int n) {
+    scc_of.assign(static_cast<std::size_t>(n), -1);
+    std::vector<int> index(static_cast<std::size_t>(n), -1);
+    std::vector<int> low(static_cast<std::size_t>(n), 0);
+    std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+    std::vector<int> stack;
+    int next_index = 0;
+    int next_scc = 0;
+
+    std::function<void(int)> strongconnect = [&](int v) {
+      index[static_cast<std::size_t>(v)] = low[static_cast<std::size_t>(v)] = next_index++;
+      stack.push_back(v);
+      on_stack[static_cast<std::size_t>(v)] = true;
+      for (const int w : callees[static_cast<std::size_t>(v)]) {
+        if (index[static_cast<std::size_t>(w)] < 0) {
+          strongconnect(w);
+          low[static_cast<std::size_t>(v)] =
+              std::min(low[static_cast<std::size_t>(v)], low[static_cast<std::size_t>(w)]);
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          low[static_cast<std::size_t>(v)] =
+              std::min(low[static_cast<std::size_t>(v)], index[static_cast<std::size_t>(w)]);
+        }
+      }
+      if (low[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+        scc_members.emplace_back();
+        for (;;) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          scc_of[static_cast<std::size_t>(w)] = next_scc;
+          scc_members.back().push_back(w);
+          if (w == v) break;
+        }
+        next_scc++;
+      }
+    };
+    for (int v = 0; v < n; ++v) {
+      if (index[static_cast<std::size_t>(v)] < 0) strongconnect(v);
+    }
+  }
+
+  void condense(int n) {
+    scc_succ.resize(scc_members.size());
+    scc_trivial.assign(scc_members.size(), true);
+    for (int f = 0; f < n; ++f) {
+      for (const int callee : callees[static_cast<std::size_t>(f)]) {
+        const int a = scc_of[static_cast<std::size_t>(f)];
+        const int b = scc_of[static_cast<std::size_t>(callee)];
+        if (a != b) {
+          scc_succ[static_cast<std::size_t>(a)].insert(b);
+        } else {
+          scc_trivial[static_cast<std::size_t>(a)] = false;  // cycle
+        }
+      }
+    }
+    for (std::size_t s = 0; s < scc_members.size(); ++s) {
+      if (scc_members[s].size() > 1) scc_trivial[s] = false;
+    }
+  }
+
+  // SCCs reachable from `scc` (inclusive).
+  [[nodiscard]] std::set<int> descendants(int scc) const {
+    std::set<int> out;
+    std::vector<int> work{scc};
+    while (!work.empty()) {
+      const int s = work.back();
+      work.pop_back();
+      if (!out.insert(s).second) continue;
+      for (const int t : scc_succ[static_cast<std::size_t>(s)]) work.push_back(t);
+    }
+    return out;
+  }
+};
+
+// Call-graph depth of each function from main (for picking the deepest home).
+std::vector<int> depths_from_main(const Module& module, const CallGraph& cg,
+                                  int main_index) {
+  std::vector<int> depth(module.functions.size(), -1);
+  std::vector<int> work{main_index};
+  depth[static_cast<std::size_t>(main_index)] = 0;
+  while (!work.empty()) {
+    const int f = work.back();
+    work.pop_back();
+    for (const int callee : cg.callees[static_cast<std::size_t>(f)]) {
+      if (depth[static_cast<std::size_t>(callee)] < 0) {
+        depth[static_cast<std::size_t>(callee)] = depth[static_cast<std::size_t>(f)] + 1;
+        work.push_back(callee);
+      }
+    }
+  }
+  return depth;
+}
+
+}  // namespace
+
+EscapeResult place_pools(const Module& module, const PointsToAnalysis& pta) {
+  const auto main_it = module.function_index.find("main");
+  if (main_it == module.function_index.end()) {
+    throw std::invalid_argument("place_pools: module has no 'main'");
+  }
+  const int main_index = main_it->second;
+
+  const CallGraph cg(module);
+  const std::vector<int> depth = depths_from_main(module, cg, main_index);
+  const int nfun = static_cast<int>(module.functions.size());
+
+  // Heap nodes each function's own registers can reach.
+  std::vector<std::set<int>> own_uses(static_cast<std::size_t>(nfun));
+  for (int f = 0; f < nfun; ++f) {
+    const Function& fn = module.functions[static_cast<std::size_t>(f)];
+    for (int r = 0; r < fn.num_regs(); ++r) {
+      pta.collect_reachable(pta.var_element(f, r), own_uses[static_cast<std::size_t>(f)]);
+    }
+  }
+
+  // Heap nodes escaping each function's boundary: params + return + globals.
+  std::vector<std::set<int>> boundary(static_cast<std::size_t>(nfun));
+  for (int f = 0; f < nfun; ++f) {
+    const Function& fn = module.functions[static_cast<std::size_t>(f)];
+    auto& escaped = boundary[static_cast<std::size_t>(f)];
+    for (std::size_t p = 0; p < fn.params.size(); ++p) {
+      pta.collect_reachable(pta.var_element(f, static_cast<int>(p)), escaped);
+    }
+    pta.collect_reachable(pta.ret_element(f), escaped);
+    for (std::size_t g = 0; g < module.globals.size(); ++g) {
+      pta.collect_reachable(pta.global_element(static_cast<int>(g)), escaped);
+    }
+  }
+
+  EscapeResult result;
+  for (const int node : pta.heap_nodes()) {
+    PoolPlacement placement;
+    placement.node = node;
+    placement.sites = pta.sites_of(node);
+
+    // Users: every function whose registers can reach the node.
+    std::set<int> user_sccs;
+    for (int f = 0; f < nfun; ++f) {
+      if (own_uses[static_cast<std::size_t>(f)].count(node) > 0) {
+        placement.users.insert(f);
+        user_sccs.insert(cg.scc_of[static_cast<std::size_t>(f)]);
+      }
+    }
+
+    // Candidate homes: trivial-SCC users, not escaping their boundary,
+    // whose call subtree covers every user.
+    int best = -1;
+    for (const int f : placement.users) {
+      if (depth[static_cast<std::size_t>(f)] < 0) continue;  // unreachable from main
+      if (!cg.scc_trivial[static_cast<std::size_t>(cg.scc_of[static_cast<std::size_t>(f)])]) continue;
+      if (boundary[static_cast<std::size_t>(f)].count(node) > 0) continue;
+      const std::set<int> covered = cg.descendants(cg.scc_of[static_cast<std::size_t>(f)]);
+      const bool covers_all = std::all_of(
+          user_sccs.begin(), user_sccs.end(),
+          [&covered](int s) { return covered.count(s) > 0; });
+      if (!covers_all) continue;
+      if (best < 0 || depth[static_cast<std::size_t>(f)] > depth[static_cast<std::size_t>(best)]) {
+        best = f;
+      }
+    }
+
+    if (best < 0) {
+      placement.home_function = main_index;
+      placement.global_lifetime = true;
+      placement.users.insert(main_index);
+    } else {
+      placement.home_function = best;
+    }
+
+    result.node_to_pool.emplace(node, static_cast<int>(result.pools.size()));
+    result.pools.push_back(std::move(placement));
+  }
+  return result;
+}
+
+}  // namespace dpg::compiler

@@ -1,0 +1,50 @@
+// Escape analysis + pool placement.
+//
+// "The transformation first identifies points-to graph nodes that do not
+//  escape a function using a traditional escape analysis (reachability
+//  analysis from function arguments, globals and return values) and creates
+//  pools for those nodes at the function entry and destroys them at the
+//  function exit." (paper Section 2.2)
+//
+// Placement over the call graph: a heap node's pool home is the deepest
+// function F such that (a) the node does not escape F's boundary (params,
+// return value, globals), and (b) every function using the node is reachable
+// from F, so the poolinit/pooldestroy pair in F brackets every use. Recursive
+// functions (non-trivial SCCs) cannot host a pool — it would be re-created
+// per activation — so homes are restricted to trivial SCCs, and nodes that
+// escape everything live in a main-scoped "global" pool (the long-lived-pool
+// case Section 3.4 discusses).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compiler/points_to.h"
+
+namespace dpg::compiler {
+
+struct PoolPlacement {
+  int node = -1;                      // points-to node root
+  std::set<std::uint32_t> sites;      // malloc sites in the pool
+  int home_function = -1;             // index of poolinit/pooldestroy owner
+  bool global_lifetime = false;       // escaped to globals / lives in main
+  std::set<int> users;                // functions needing the pool descriptor
+};
+
+struct EscapeResult {
+  std::vector<PoolPlacement> pools;           // one per heap node
+  std::map<int, int> node_to_pool;            // node root -> pools index
+
+  [[nodiscard]] const PoolPlacement* pool_of_node(int node) const {
+    const auto it = node_to_pool.find(node);
+    return it == node_to_pool.end() ? nullptr : &pools[static_cast<std::size_t>(it->second)];
+  }
+};
+
+// Requires a function named "main" to exist (the fallback home).
+[[nodiscard]] EscapeResult place_pools(const Module& module,
+                                       const PointsToAnalysis& pta);
+
+}  // namespace dpg::compiler

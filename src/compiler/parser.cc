@@ -1,0 +1,397 @@
+#include "compiler/parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+
+namespace dpg::compiler {
+
+namespace {
+
+struct Tokenizer {
+  std::string text;
+  std::size_t pos = 0;
+  int line = 1;
+
+  void skip_space() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '#') {
+        while (pos < text.size() && text[pos] != '\n') pos++;
+      } else if (c == '\n') {
+        line++;
+        pos++;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        pos++;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool eof() {
+    skip_space();
+    return pos >= text.size();
+  }
+
+  [[nodiscard]] char peek() {
+    skip_space();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  char take() {
+    skip_space();
+    return text[pos++];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw ParseError(line, std::string("expected '") + c + "'");
+    }
+    pos++;
+  }
+
+  [[nodiscard]] bool accept(char c) {
+    if (peek() == c) {
+      pos++;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string ident() {
+    skip_space();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '_')) {
+      pos++;
+    }
+    if (start == pos) throw ParseError(line, "expected identifier");
+    return text.substr(start, pos - start);
+  }
+
+  [[nodiscard]] std::int64_t number() {
+    skip_space();
+    bool negative = false;
+    if (pos < text.size() && text[pos] == '-') {
+      negative = true;
+      pos++;
+    }
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+      pos++;
+    }
+    if (start == pos) throw ParseError(line, "expected number");
+    const std::int64_t v = std::stoll(text.substr(start, pos - start));
+    return negative ? -v : v;
+  }
+};
+
+class FunctionParser {
+ public:
+  FunctionParser(Tokenizer& tok, Module& module) : tok_(tok), module_(module) {}
+
+  Function parse(std::uint32_t& next_site) {
+    fn_.name = tok_.ident();
+    tok_.expect('(');
+    if (!tok_.accept(')')) {
+      do {
+        const std::string p = tok_.ident();
+        fn_.params.push_back(p);
+        reg_of(p);
+      } while (tok_.accept(','));
+      tok_.expect(')');
+    }
+    tok_.expect('{');
+    while (!tok_.accept('}')) {
+      parse_line(next_site);
+    }
+    resolve_labels();
+    return std::move(fn_);
+  }
+
+ private:
+  int reg_of(const std::string& name) {
+    const auto it = regs_.find(name);
+    if (it != regs_.end()) return it->second;
+    const int idx = static_cast<int>(fn_.reg_names.size());
+    fn_.reg_names.push_back(name);
+    regs_.emplace(name, idx);
+    return idx;
+  }
+
+  void parse_call_tail(Instr& ins) {
+    ins.op = Op::kCall;
+    ins.callee = tok_.ident();
+    tok_.expect('(');
+    if (!tok_.accept(')')) {
+      do {
+        ins.args.push_back(reg_of(tok_.ident()));
+      } while (tok_.accept(','));
+      tok_.expect(')');
+    }
+  }
+
+  void parse_line(std::uint32_t& next_site) {
+    const std::string word = tok_.ident();
+    if (tok_.accept(':')) {
+      labels_[word] = static_cast<int>(fn_.body.size());
+      return;
+    }
+
+    Instr ins;
+    if (word == "free") {
+      ins.op = Op::kFree;
+      ins.a = reg_of(tok_.ident());
+      ins.site = next_site++;
+    } else if (word == "setfield") {
+      ins.op = Op::kSetField;
+      ins.a = reg_of(tok_.ident());
+      tok_.expect(',');
+      ins.imm = tok_.number();
+      tok_.expect(',');
+      ins.b = reg_of(tok_.ident());
+    } else if (word == "setfieldv") {
+      ins.op = Op::kSetFieldV;
+      ins.a = reg_of(tok_.ident());
+      tok_.expect(',');
+      ins.b = reg_of(tok_.ident());
+      tok_.expect(',');
+      ins.c = reg_of(tok_.ident());
+    } else if (word == "storeg") {
+      ins.op = Op::kStoreG;
+      const std::string g = tok_.ident();
+      ins.imm = module_.global_index(g);
+      if (ins.imm < 0) throw ParseError(tok_.line, "unknown global " + g);
+      tok_.expect(',');
+      ins.a = reg_of(tok_.ident());
+    } else if (word == "ret") {
+      ins.op = Op::kRet;
+      // Optional operand: next token is an identifier on the same construct.
+      if (tok_.peek() != '}' && tok_.peek() != '\0') {
+        // Peek: "ret x" vs "ret" followed by another statement. Disambiguate
+        // by trying an identifier and checking whether it begins a statement
+        // keyword or label. Keep it simple: an explicit "void" keyword is not
+        // needed because PIR requires "ret" operands to be pre-declared
+        // registers; we accept an identifier only if it is already a register.
+        const std::size_t save = tok_.pos;
+        const int save_line = tok_.line;
+        std::string maybe;
+        try {
+          maybe = tok_.ident();
+        } catch (const ParseError&) {
+          maybe.clear();
+        }
+        if (!maybe.empty() && regs_.count(maybe) > 0 && tok_.peek() != ':' &&
+            tok_.peek() != '=') {
+          ins.a = regs_[maybe];
+        } else {
+          tok_.pos = save;
+          tok_.line = save_line;
+        }
+      }
+    } else if (word == "br") {
+      ins.op = Op::kBr;
+      pending_.push_back({static_cast<int>(fn_.body.size()), tok_.ident(), false});
+    } else if (word == "cbr") {
+      ins.op = Op::kCbr;
+      ins.a = reg_of(tok_.ident());
+      tok_.expect(',');
+      pending_.push_back({static_cast<int>(fn_.body.size()), tok_.ident(), false});
+      tok_.expect(',');
+      pending_.push_back({static_cast<int>(fn_.body.size()), tok_.ident(), true});
+    } else if (word == "out") {
+      ins.op = Op::kOut;
+      ins.a = reg_of(tok_.ident());
+    } else if (word == "call") {
+      parse_call_tail(ins);
+    } else {
+      // Assignment: word is the destination register.
+      tok_.expect('=');
+      ins.dst = reg_of(word);
+      const std::string op = tok_.ident();
+      if (op == "const") {
+        ins.op = Op::kConst;
+        ins.imm = tok_.number();
+      } else if (op == "copy") {
+        ins.op = Op::kCopy;
+        ins.a = reg_of(tok_.ident());
+      } else if (op == "add" || op == "sub" || op == "mul" || op == "lt" ||
+                 op == "eq") {
+        ins.op = op == "add"   ? Op::kAdd
+                 : op == "sub" ? Op::kSub
+                 : op == "mul" ? Op::kMul
+                 : op == "lt"  ? Op::kCmpLt
+                               : Op::kCmpEq;
+        ins.a = reg_of(tok_.ident());
+        tok_.expect(',');
+        ins.b = reg_of(tok_.ident());
+      } else if (op == "malloc") {
+        ins.op = Op::kMalloc;
+        // Accept a literal field count by materializing it into a hidden
+        // register just before the malloc (a plain "malloc 2" would otherwise
+        // silently read register "2", default value zero).
+        tok_.skip_space();
+        if (tok_.pos < tok_.text.size() &&
+            std::isdigit(static_cast<unsigned char>(tok_.text[tok_.pos])) != 0) {
+          const std::int64_t n = tok_.number();
+          Instr cst;
+          cst.op = Op::kConst;
+          cst.dst = reg_of("__imm" + std::to_string(fn_.body.size()));
+          cst.imm = n;
+          fn_.body.push_back(cst);
+          ins.a = cst.dst;
+        } else {
+          ins.a = reg_of(tok_.ident());
+        }
+        ins.site = next_site++;
+      } else if (op == "getfield") {
+        ins.op = Op::kGetField;
+        ins.a = reg_of(tok_.ident());
+        tok_.expect(',');
+        ins.imm = tok_.number();
+      } else if (op == "getfieldv") {
+        ins.op = Op::kGetFieldV;
+        ins.a = reg_of(tok_.ident());
+        tok_.expect(',');
+        ins.b = reg_of(tok_.ident());
+      } else if (op == "loadg") {
+        ins.op = Op::kLoadG;
+        const std::string g = tok_.ident();
+        ins.imm = module_.global_index(g);
+        if (ins.imm < 0) throw ParseError(tok_.line, "unknown global " + g);
+      } else if (op == "call") {
+        parse_call_tail(ins);
+      } else {
+        throw ParseError(tok_.line, "unknown operation '" + op + "'");
+      }
+    }
+    fn_.body.push_back(std::move(ins));
+  }
+
+  void resolve_labels() {
+    for (const Pending& p : pending_) {
+      const auto it = labels_.find(p.label);
+      if (it == labels_.end()) {
+        throw ParseError(0, "undefined label '" + p.label + "' in " + fn_.name);
+      }
+      if (p.second_target) {
+        fn_.body[p.instr].target2 = it->second;
+      } else {
+        fn_.body[p.instr].target = it->second;
+      }
+    }
+  }
+
+  struct Pending {
+    int instr;
+    std::string label;
+    bool second_target;
+  };
+
+  Tokenizer& tok_;
+  Module& module_;
+  Function fn_;
+  std::unordered_map<std::string, int> regs_;
+  std::unordered_map<std::string, int> labels_;
+  std::vector<Pending> pending_;
+};
+
+}  // namespace
+
+std::string Module::dump() const {
+  std::ostringstream os;
+  for (const std::string& g : globals) os << "global " << g << "\n";
+  for (const Function& fn : functions) {
+    os << "func " << fn.name << "(";
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      os << (i != 0 ? ", " : "") << fn.params[i];
+    }
+    os << ") {\n";
+    const auto reg = [&fn](int r) {
+      return r >= 0 ? fn.reg_names[static_cast<std::size_t>(r)]
+                    : std::string("<none>");
+    };
+    for (std::size_t i = 0; i < fn.body.size(); ++i) {
+      const Instr& ins = fn.body[i];
+      os << "  [" << i << "] ";
+      switch (ins.op) {
+        case Op::kConst: os << reg(ins.dst) << " = const " << ins.imm; break;
+        case Op::kCopy: os << reg(ins.dst) << " = copy " << reg(ins.a); break;
+        case Op::kAdd: os << reg(ins.dst) << " = add " << reg(ins.a) << ", " << reg(ins.b); break;
+        case Op::kSub: os << reg(ins.dst) << " = sub " << reg(ins.a) << ", " << reg(ins.b); break;
+        case Op::kMul: os << reg(ins.dst) << " = mul " << reg(ins.a) << ", " << reg(ins.b); break;
+        case Op::kCmpLt: os << reg(ins.dst) << " = lt " << reg(ins.a) << ", " << reg(ins.b); break;
+        case Op::kCmpEq: os << reg(ins.dst) << " = eq " << reg(ins.a) << ", " << reg(ins.b); break;
+        case Op::kMalloc: os << reg(ins.dst) << " = malloc " << reg(ins.a) << "  # site " << ins.site; break;
+        case Op::kFree: os << "free " << reg(ins.a) << "  # site " << ins.site; break;
+        case Op::kGetField: os << reg(ins.dst) << " = getfield " << reg(ins.a) << ", " << ins.imm; break;
+        case Op::kSetField: os << "setfield " << reg(ins.a) << ", " << ins.imm << ", " << reg(ins.b); break;
+        case Op::kGetFieldV: os << reg(ins.dst) << " = getfieldv " << reg(ins.a) << ", " << reg(ins.b); break;
+        case Op::kSetFieldV: os << "setfieldv " << reg(ins.a) << ", " << reg(ins.b) << ", " << reg(ins.c); break;
+        case Op::kLoadG: os << reg(ins.dst) << " = loadg #" << ins.imm; break;
+        case Op::kStoreG: os << "storeg #" << ins.imm << ", " << reg(ins.a); break;
+        case Op::kCall: {
+          if (ins.dst >= 0) os << reg(ins.dst) << " = ";
+          os << "call " << ins.callee << "(";
+          for (std::size_t a = 0; a < ins.args.size(); ++a) {
+            os << (a != 0 ? ", " : "") << reg(ins.args[a]);
+          }
+          os << ")";
+          break;
+        }
+        case Op::kRet:
+          os << "ret";
+          if (ins.a >= 0) os << " " << reg(ins.a);
+          break;
+        case Op::kBr: os << "br [" << ins.target << "]"; break;
+        case Op::kCbr:
+          os << "cbr " << reg(ins.a) << ", [" << ins.target << "], ["
+             << ins.target2 << "]";
+          break;
+        case Op::kOut: os << "out " << reg(ins.a); break;
+        case Op::kPoolInit:
+          os << reg(ins.dst) << " = poolinit";
+          if (ins.imm > 0) os << " elem=" << ins.imm;
+          break;
+        case Op::kPoolDestroy: os << "pooldestroy " << reg(ins.a); break;
+        case Op::kPoolAlloc:
+          os << reg(ins.dst) << " = poolalloc " << reg(ins.a) << ", "
+             << reg(ins.b) << "  # site " << ins.site;
+          break;
+        case Op::kPoolFree:
+          os << "poolfree " << reg(ins.a) << ", " << reg(ins.b) << "  # site "
+             << ins.site;
+          break;
+      }
+      os << "\n";
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+Module parse_module(const std::string& source) {
+  Tokenizer tok{source};
+  Module module;
+  std::uint32_t next_site = 1;
+  while (!tok.eof()) {
+    const std::string word = tok.ident();
+    if (word == "global") {
+      module.globals.push_back(tok.ident());
+    } else if (word == "func") {
+      FunctionParser fp(tok, module);
+      Function fn = fp.parse(next_site);
+      module.function_index.emplace(fn.name,
+                                    static_cast<int>(module.functions.size()));
+      module.functions.push_back(std::move(fn));
+    } else {
+      throw ParseError(tok.line, "expected 'global' or 'func', got '" + word + "'");
+    }
+  }
+  return module;
+}
+
+}  // namespace dpg::compiler

@@ -1,0 +1,43 @@
+// Parser for PIR's textual form.
+//
+// Grammar (line-oriented; '#' comments):
+//
+//   module   := (global | func)*
+//   global   := "global" IDENT
+//   func     := "func" IDENT "(" params? ")" "{" line* "}"
+//   line     := LABEL ":" | instr
+//   instr    := IDENT "=" rhs | "free" IDENT | "setfield" IDENT "," NUM "," IDENT
+//             | "storeg" IDENT "," IDENT | "ret" IDENT? | "br" LABEL
+//             | "cbr" IDENT "," LABEL "," LABEL | "out" IDENT
+//             | "call" IDENT "(" args? ")"            (call ignoring result)
+//   rhs      := "const" NUM | "copy" IDENT | "add" IDENT "," IDENT
+//             | "sub" IDENT "," IDENT | "mul" IDENT "," IDENT
+//             | "lt" IDENT "," IDENT | "eq" IDENT "," IDENT
+//             | "malloc" IDENT | "getfield" IDENT "," NUM | "loadg" IDENT
+//             | "call" IDENT "(" args? ")"
+//
+// Registers are created on first mention. Labels resolve to instruction
+// indices in a second pass. Site ids are assigned globally in program order.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "compiler/ir.h"
+
+namespace dpg::compiler {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+[[nodiscard]] Module parse_module(const std::string& source);
+
+}  // namespace dpg::compiler

@@ -1,0 +1,207 @@
+#include "compiler/points_to.h"
+
+#include <cassert>
+
+namespace dpg::compiler {
+
+const std::set<std::uint32_t> PointsToAnalysis::kEmptySites;
+
+PointsToAnalysis::PointsToAnalysis(const Module& module) {
+  // Lay out elements: per-function registers, per-function return values,
+  // globals. Memory-node and contents elements are created on demand.
+  for (const Function& fn : module.functions) {
+    fn_var_base_.push_back(static_cast<int>(parent_.size()));
+    for (int r = 0; r < fn.num_regs(); ++r) fresh();
+    fn_ret_.push_back(fresh());
+  }
+  for (std::size_t g = 0; g < module.globals.size(); ++g) {
+    global_base_.push_back(fresh());
+  }
+  for (std::size_t f = 0; f < module.functions.size(); ++f) {
+    constrain_function(module, static_cast<int>(f));
+  }
+}
+
+int PointsToAnalysis::fresh() {
+  const int id = static_cast<int>(parent_.size());
+  parent_.push_back(id);
+  rank_.push_back(0);
+  pointee_.push_back(-1);
+  return id;
+}
+
+int PointsToAnalysis::find(int element) const {
+  while (parent_[element] != element) {
+    parent_[element] = parent_[parent_[element]];  // path halving
+    element = parent_[element];
+  }
+  return element;
+}
+
+int PointsToAnalysis::pointee_of(int element) {
+  const int root = find(element);
+  if (pointee_[root] < 0) pointee_[root] = fresh();
+  return find(pointee_[root]);
+}
+
+void PointsToAnalysis::unite(int a, int b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  if (rank_[a] == rank_[b]) rank_[a]++;
+  parent_[b] = a;
+
+  // Merge metadata.
+  if (const auto it = info_.find(b); it != info_.end()) {
+    Info& dst = info_[a];
+    dst.is_heap |= it->second.is_heap;
+    dst.sites.insert(it->second.sites.begin(), it->second.sites.end());
+    info_.erase(b);
+  }
+  // Recursively unify pointees (Steensgaard's conditional join).
+  const int pa = pointee_[a];
+  const int pb = pointee_[b];
+  if (pb >= 0) {
+    if (pa >= 0) {
+      unite(pa, pb);
+    } else {
+      pointee_[a] = pb;
+    }
+  }
+}
+
+void PointsToAnalysis::constrain_function(const Module& module, int fn_index) {
+  const Function& fn = module.functions[static_cast<std::size_t>(fn_index)];
+  const auto var = [&](int reg) { return fn_var_base_[fn_index] + reg; };
+
+  for (const Instr& ins : fn.body) {
+    switch (ins.op) {
+      case Op::kCopy:
+        unite(var(ins.dst), var(ins.a));
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+        // Pointer arithmetic keeps aliasing with both operands (conservative:
+        // PIR has no pointer/int distinction, like C after casts — the paper
+        // stresses "we allow arbitrary casts including casts from pointers to
+        // integers and back").
+        unite(var(ins.dst), var(ins.a));
+        unite(var(ins.dst), var(ins.b));
+        break;
+      case Op::kMalloc: {
+        const int node = pointee_of(var(ins.dst));
+        Info& info = info_[find(node)];
+        info.is_heap = true;
+        info.sites.insert(ins.site);
+        site_element_.emplace(ins.site, node);
+        break;
+      }
+      case Op::kGetField:
+      case Op::kGetFieldV: {
+        // dst may point to whatever the object's fields point to (the
+        // analysis is field-insensitive, so a register index changes
+        // nothing).
+        const int node = pointee_of(var(ins.a));
+        unite(pointee_of(var(ins.dst)), pointee_of(node));
+        break;
+      }
+      case Op::kSetField: {
+        const int node = pointee_of(var(ins.a));
+        unite(pointee_of(var(ins.b)), pointee_of(node));
+        break;
+      }
+      case Op::kSetFieldV: {
+        const int node = pointee_of(var(ins.a));
+        unite(pointee_of(var(ins.c)), pointee_of(node));
+        break;
+      }
+      case Op::kLoadG:
+        unite(var(ins.dst), global_element(static_cast<int>(ins.imm)));
+        break;
+      case Op::kStoreG:
+        unite(global_element(static_cast<int>(ins.imm)), var(ins.a));
+        break;
+      case Op::kCall: {
+        const Function* callee = module.find(ins.callee);
+        if (callee == nullptr) break;  // external: no constraints
+        const auto cit = module.function_index.find(ins.callee);
+        const int callee_index = cit->second;
+        const std::size_t nparams = callee->params.size();
+        for (std::size_t i = 0; i < ins.args.size() && i < nparams; ++i) {
+          unite(var(ins.args[i]),
+                fn_var_base_[callee_index] + static_cast<int>(i));
+        }
+        if (ins.dst >= 0) unite(var(ins.dst), fn_ret_[callee_index]);
+        break;
+      }
+      case Op::kRet:
+        if (ins.a >= 0) unite(fn_ret_[fn_index], var(ins.a));
+        break;
+      default:
+        break;  // kConst, kFree, kBr, kCbr, kOut, kCmp*, pool ops: no pointer flow
+    }
+  }
+}
+
+int PointsToAnalysis::var_element(int fn_index, int reg) const {
+  return fn_var_base_[static_cast<std::size_t>(fn_index)] + reg;
+}
+
+int PointsToAnalysis::ret_element(int fn_index) const {
+  return fn_ret_[static_cast<std::size_t>(fn_index)];
+}
+
+int PointsToAnalysis::global_element(int global_index) const {
+  return global_base_[static_cast<std::size_t>(global_index)];
+}
+
+int PointsToAnalysis::node_of_site(std::uint32_t site) const {
+  const auto it = site_element_.find(site);
+  return it == site_element_.end() ? -1 : find(it->second);
+}
+
+int PointsToAnalysis::pointee_node(int element) const {
+  const int root = find(element);
+  return pointee_[static_cast<std::size_t>(root)] < 0
+             ? -1
+             : find(pointee_[static_cast<std::size_t>(root)]);
+}
+
+std::vector<int> PointsToAnalysis::heap_nodes() const {
+  std::vector<int> nodes;
+  for (const auto& [root, info] : info_) {
+    if (info.is_heap && find(root) == root) nodes.push_back(root);
+  }
+  return nodes;
+}
+
+const std::set<std::uint32_t>& PointsToAnalysis::sites_of(int node) const {
+  const auto it = info_.find(find(node));
+  return it == info_.end() ? kEmptySites : it->second.sites;
+}
+
+bool PointsToAnalysis::reachable_from_global(int node) const {
+  const int target = find(node);
+  std::set<int> reachable;
+  for (const int g : global_base_) collect_reachable(g, reachable);
+  return reachable.count(target) > 0;
+}
+
+void PointsToAnalysis::collect_reachable(int element, std::set<int>& out) const {
+  // Each root has at most one pointee, so reachability is a chain walk;
+  // the visited check breaks points-to cycles (e.g. linked lists).
+  int cur = find(element);
+  std::set<int> visited;
+  while (visited.insert(cur).second) {
+    if (const auto it = info_.find(cur); it != info_.end() && it->second.is_heap) {
+      out.insert(cur);
+    }
+    const int next = pointee_[static_cast<std::size_t>(cur)];
+    if (next < 0) break;
+    cur = find(next);
+  }
+}
+
+}  // namespace dpg::compiler

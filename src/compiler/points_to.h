@@ -1,0 +1,82 @@
+// Steensgaard-style unification points-to analysis over PIR.
+//
+// Automatic Pool Allocation consumes a points-to graph whose nodes partition
+// the heap ("each node in the points-to graph represents a set of memory
+// objects of the original program", paper Section 2.2). We compute that
+// partition with a unification-based (near-linear, context-insensitive,
+// field-insensitive) analysis — the same family as the DSA graphs the real
+// transformation uses, simplified exactly the way the paper says escape
+// analysis may be: "much simpler, but can be less precise, than that required
+// for static detection of dangling pointer references".
+//
+// Model: every analysis element carries at most one points-to edge. Variables
+// point to memory nodes; a memory node's edge describes what its fields may
+// point to. Unifying two elements recursively unifies their pointees, so a
+// single pass over all instructions reaches the fixed point.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace dpg::compiler {
+
+class PointsToAnalysis {
+ public:
+  explicit PointsToAnalysis(const Module& module);
+
+  // --- element handles -----------------------------------------------------
+  [[nodiscard]] int var_element(int fn_index, int reg) const;
+  [[nodiscard]] int ret_element(int fn_index) const;
+  [[nodiscard]] int global_element(int global_index) const;
+
+  // Root element of the memory node an alloc site belongs to (or -1).
+  [[nodiscard]] int node_of_site(std::uint32_t site) const;
+
+  // Root of the memory node a pointer variable points to, or -1 when the
+  // variable was never given a pointee.
+  [[nodiscard]] int pointee_node(int element) const;
+
+  // --- node queries ----------------------------------------------------------
+  [[nodiscard]] std::vector<int> heap_nodes() const;
+  [[nodiscard]] const std::set<std::uint32_t>& sites_of(int node) const;
+  [[nodiscard]] bool reachable_from_global(int node) const;
+
+  // Heap nodes reachable from a seed element through points-to edges
+  // (includes nodes behind arbitrarily many field indirections).
+  void collect_reachable(int element, std::set<int>& out) const;
+
+  [[nodiscard]] int find(int element) const;
+
+ private:
+  int fresh();
+  int pointee_of(int element);
+  void unite(int a, int b);
+  void constrain_function(const Module& module, int fn_index);
+
+  struct Info {
+    bool is_heap = false;
+    std::set<std::uint32_t> sites;
+  };
+
+  // Union-find state.
+  mutable std::vector<int> parent_;
+  std::vector<int> rank_;
+  std::vector<int> pointee_;  // -1 = none; meaningful at roots
+  std::unordered_map<int, Info> info_;  // root -> metadata (moved on union)
+
+  // Element id layout.
+  std::vector<int> fn_var_base_;  // per function: first register element id
+  std::vector<int> fn_ret_;       // per function: return-value element id
+  std::vector<int> global_base_;  // per global: element id
+  std::unordered_map<std::uint32_t, int> site_element_;
+
+  static const std::set<std::uint32_t> kEmptySites;
+};
+
+}  // namespace dpg::compiler

@@ -1,0 +1,32 @@
+// The Automatic Pool Allocation transformation over PIR.
+//
+// Mirrors the rewriting the paper describes on its running example
+// (Figure 1 -> Figure 2):
+//   - poolinit/pooldestroy inserted in each pool's home function (entry /
+//     every return);
+//   - functions through which a pool's data flows gain trailing pool-
+//     descriptor parameters, and every call site passes them;
+//   - malloc/free sites become poolalloc/poolfree on the owning descriptor.
+//
+// "Note that explicit deallocation via poolfree can return freed memory to
+//  its pool ... Thus dangling pointers to the freed memory in the original
+//  program continue to exist in the transformed program" — the transformation
+//  itself detects nothing; it only bounds pool lifetimes. Detection comes
+//  from executing the transformed program on the guarded runtime (interp.h).
+#pragma once
+
+#include "compiler/escape.h"
+#include "compiler/ir.h"
+#include "compiler/points_to.h"
+
+namespace dpg::compiler {
+
+struct TransformResult {
+  Module module;          // the transformed program
+  EscapeResult placement; // which pools exist, where they live, who uses them
+};
+
+// Full pipeline: points-to -> escape/pool placement -> rewrite.
+[[nodiscard]] TransformResult pool_allocate(const Module& input);
+
+}  // namespace dpg::compiler

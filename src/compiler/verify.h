@@ -1,0 +1,29 @@
+// Module well-formedness verifier.
+//
+// The transformation rewrites instruction streams, renumbers branch targets,
+// and appends parameters — exactly the kind of surgery that silently breaks
+// IR. verify_module() checks the structural invariants every pass must
+// preserve; the interpreter runs it by default so malformed modules fail
+// loudly instead of executing garbage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace dpg::compiler {
+
+// Returns human-readable diagnostics; empty means well-formed.
+//
+// Checked invariants:
+//   - function_index maps every function name to its position, no duplicates
+//   - parameters name existing registers, no duplicate parameter names
+//   - every operand/destination register index is within the register file
+//   - branch targets land inside the function body
+//   - calls name existing functions with matching arity
+//   - site ids on malloc/free/poolalloc/poolfree are unique module-wide
+//   - pool instructions carry their required operands
+[[nodiscard]] std::vector<std::string> verify_module(const Module& module);
+
+}  // namespace dpg::compiler

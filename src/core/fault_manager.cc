@@ -1,0 +1,170 @@
+#include "core/fault_manager.h"
+
+#include <signal.h>
+#include <string.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "core/registry.h"
+
+namespace dpg::core {
+
+namespace {
+
+std::atomic<FaultManager::Callback> g_callback{nullptr};
+std::atomic<std::uint64_t> g_detections{0};
+thread_local FaultManager::Probe t_probe;
+
+// --- async-signal-safe formatting -----------------------------------------
+
+std::size_t put_str(char* out, std::size_t cap, std::size_t at, const char* s) {
+  while (*s != '\0' && at + 1 < cap) out[at++] = *s++;
+  return at;
+}
+
+std::size_t put_hex(char* out, std::size_t cap, std::size_t at,
+                    std::uint64_t v) {
+  char digits[18];
+  int n = 0;
+  do {
+    const int d = static_cast<int>(v & 0xF);
+    digits[n++] = static_cast<char>(d < 10 ? '0' + d : 'a' + d - 10);
+    v >>= 4;
+  } while (v != 0);
+  at = put_str(out, cap, at, "0x");
+  while (n > 0 && at + 1 < cap) out[at++] = digits[--n];
+  return at;
+}
+
+std::size_t put_dec(char* out, std::size_t cap, std::size_t at,
+                    std::uint64_t v) {
+  char digits[21];
+  int n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0 && at + 1 < cap) out[at++] = digits[--n];
+  return at;
+}
+
+void write_report(const DanglingReport& r) {
+  char buf[512];
+  std::size_t at = 0;
+  at = put_str(buf, sizeof buf, at, "\n=== dpguard: dangling pointer ");
+  at = put_str(buf, sizeof buf, at, to_string(r.kind));
+  at = put_str(buf, sizeof buf, at, " detected ===\n  pointer:    ");
+  at = put_hex(buf, sizeof buf, at, r.fault_address);
+  at = put_str(buf, sizeof buf, at, "\n  object:     [");
+  at = put_hex(buf, sizeof buf, at, r.object_base);
+  at = put_str(buf, sizeof buf, at, ", +");
+  at = put_dec(buf, sizeof buf, at, r.object_size);
+  at = put_str(buf, sizeof buf, at, ")\n  alloc site: ");
+  at = put_dec(buf, sizeof buf, at, r.alloc_site);
+  at = put_str(buf, sizeof buf, at, "\n  free site:  ");
+  at = put_dec(buf, sizeof buf, at, r.free_site);
+  at = put_str(buf, sizeof buf, at, "\n");
+  // Best-effort: a short write here is acceptable.
+  [[maybe_unused]] ssize_t rc = write(STDERR_FILENO, buf, at);
+}
+
+[[noreturn]] void dispatch(const DanglingReport& report) {
+  g_detections.fetch_add(1, std::memory_order_relaxed);
+  if (t_probe.armed != 0) {
+    t_probe.report = report;
+    siglongjmp(t_probe.env, 1);
+  }
+  if (FaultManager::Callback cb = g_callback.load(std::memory_order_acquire)) {
+    cb(report);
+  }
+  write_report(report);
+  abort();
+}
+
+AccessKind classify(const void* uctx) noexcept {
+#if defined(__x86_64__)
+  // Page-fault error code: bit 1 set => the faulting access was a write.
+  const auto* uc = static_cast<const ucontext_t*>(uctx);
+  const auto err = static_cast<std::uint64_t>(uc->uc_mcontext.gregs[REG_ERR]);
+  return (err & 0x2) != 0 ? AccessKind::kWrite : AccessKind::kRead;
+#else
+  (void)uctx;
+  return AccessKind::kUnknown;
+#endif
+}
+
+void reraise_default(int signo) {
+  struct sigaction dfl{};
+  dfl.sa_handler = SIG_DFL;
+  sigemptyset(&dfl.sa_mask);
+  sigaction(signo, &dfl, nullptr);
+  // Returning re-executes the faulting instruction under SIG_DFL.
+}
+
+void on_fault(int signo, siginfo_t* info, void* uctx) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
+  const ObjectRecord* rec = ShadowRegistry::global().lookup(addr);
+  if (rec == nullptr) {
+    reraise_default(signo);
+    return;
+  }
+  const ObjectState state = rec->state.load(std::memory_order_acquire);
+  const bool in_guard =
+      rec->guard_length != 0 &&
+      addr >= rec->shadow_base + rec->span_length - rec->guard_length;
+  if (state != ObjectState::kFreed && !in_guard) {
+    // A fault inside a live object's data pages is not ours to explain.
+    reraise_default(signo);
+    return;
+  }
+  DanglingReport report;
+  // A fault in a *live* object's trailing guard page is a spatial error:
+  // the access ran off the end of the object (the §6-extension guard mode).
+  report.kind = state == ObjectState::kFreed ? classify(uctx)
+                                             : AccessKind::kOverflow;
+  report.fault_address = addr;
+  report.object_base = rec->user_shadow;
+  report.object_size = rec->user_size;
+  report.alloc_site = rec->alloc_site;
+  report.free_site = rec->free_site;
+  dispatch(report);
+}
+
+}  // namespace
+
+FaultManager& FaultManager::instance() {
+  static FaultManager fm;
+  return fm;
+}
+
+void FaultManager::install() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa{};
+    sa.sa_sigaction = on_fault;
+    sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGSEGV, &sa, nullptr);
+    sigaction(SIGBUS, &sa, nullptr);
+  });
+}
+
+void FaultManager::set_callback(Callback cb) noexcept {
+  g_callback.store(cb, std::memory_order_release);
+}
+
+void FaultManager::raise_software(const DanglingReport& report) {
+  dispatch(report);
+}
+
+std::uint64_t FaultManager::detections() const noexcept {
+  return g_detections.load(std::memory_order_relaxed);
+}
+
+FaultManager::Probe& FaultManager::thread_probe() noexcept { return t_probe; }
+
+}  // namespace dpg::core

@@ -1,0 +1,79 @@
+#include "core/gc_scan.h"
+
+#include <unordered_map>
+
+namespace dpg::core {
+
+void ConservativeScanner::add_root(const void* base, std::size_t length) {
+  roots_.push_back(Root{base, length});
+}
+
+namespace {
+
+// Scans [base, base+length) for word-aligned values landing in `pages`,
+// marking the owning record.
+void scan_range(const void* base, std::size_t length,
+                const std::unordered_map<std::uintptr_t, ObjectRecord*>& pages,
+                std::unordered_map<ObjectRecord*, bool>& marked) {
+  const auto start = vm::addr(base);
+  const std::uintptr_t aligned = (start + sizeof(std::uintptr_t) - 1) &
+                                 ~(sizeof(std::uintptr_t) - 1);
+  const std::uintptr_t end = start + length;
+  for (std::uintptr_t a = aligned; a + sizeof(std::uintptr_t) <= end;
+       a += sizeof(std::uintptr_t)) {
+    const std::uintptr_t word = *reinterpret_cast<const std::uintptr_t*>(a);
+    const auto it = pages.find(vm::page_down(word));
+    if (it != pages.end()) marked[it->second] = true;
+  }
+}
+
+}  // namespace
+
+ConservativeScanner::Result ConservativeScanner::collect(
+    std::span<ShadowEngine* const> engines) {
+  Result result;
+
+  // Collect every freed span, indexed by page so interior pointers count.
+  std::unordered_map<std::uintptr_t, ObjectRecord*> freed_pages;
+  std::unordered_map<ObjectRecord*, ShadowEngine*> owner;
+  std::unordered_map<ObjectRecord*, bool> marked;
+  for (ShadowEngine* engine : engines) {
+    for (ObjectRecord* rec : engine->freed_records()) {
+      for (std::uintptr_t page = rec->shadow_base;
+           page < rec->shadow_base + rec->span_length; page += vm::kPageSize) {
+        freed_pages.emplace(page, rec);
+      }
+      owner.emplace(rec, engine);
+      marked.emplace(rec, false);
+      result.freed_candidates++;
+    }
+  }
+  if (freed_pages.empty()) return result;
+
+  // Mark from explicit roots.
+  for (const Root& root : roots_) {
+    scan_range(root.base, root.length, freed_pages, marked);
+  }
+  // Mark from the payloads of all live guarded objects. One pass suffices:
+  // freed memory is unreadable, so a chain of references to a freed span must
+  // end in live memory or a root, all of which we scan.
+  for (ShadowEngine* engine : engines) {
+    for (const ObjectRecord* rec : engine->live_records()) {
+      scan_range(reinterpret_cast<const void*>(rec->user_shadow),
+                 rec->user_size, freed_pages, marked);
+    }
+  }
+
+  for (auto& [rec, is_marked] : marked) {
+    if (is_marked) {
+      result.retained++;
+      continue;
+    }
+    result.bytes_reclaimed += rec->span_length;
+    owner[rec]->reclaim(rec);
+    result.reclaimed++;
+  }
+  return result;
+}
+
+}  // namespace dpg::core

@@ -1,0 +1,51 @@
+// ConservativeScanner — §3.4 strategy 2.
+//
+// "An alternative approach is to run a conservative garbage collector at the
+//  same infrequent intervals ... since the actual physical memory consumption
+//  is not an issue and GC only needs to ameliorate [VA exhaustion and page-
+//  table pressure], we can run garbage collection quite infrequently."
+//
+// The scanner does exactly (and only) what the paper needs: it releases the
+// virtual addresses of *freed* objects that are no longer referenced from any
+// registered root range or from any live guarded object. It never moves or
+// frees physical memory — the underlying allocator already reclaimed that at
+// free() time. Objects whose freed shadow addresses are still stored
+// somewhere stay protected, preserving detection for exactly the pointers
+// that could still be used.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/guarded_heap.h"
+
+namespace dpg::core {
+
+class ConservativeScanner {
+ public:
+  // Registers a root range (e.g. a workload's global data) scanned for
+  // pointer-like words on every collect().
+  void add_root(const void* base, std::size_t length);
+  void clear_roots() noexcept { roots_.clear(); }
+
+  struct Result {
+    std::size_t freed_candidates = 0;  // freed spans considered
+    std::size_t reclaimed = 0;         // spans recycled
+    std::size_t retained = 0;          // spans still referenced somewhere
+    std::size_t bytes_reclaimed = 0;
+  };
+
+  // Scans roots plus the payloads of all live objects in `engines`, then
+  // reclaims every freed span with no conservative referent.
+  Result collect(std::span<ShadowEngine* const> engines);
+
+ private:
+  struct Root {
+    const void* base;
+    std::size_t length;
+  };
+  std::vector<Root> roots_;
+};
+
+}  // namespace dpg::core

@@ -1,0 +1,356 @@
+#include "core/guarded_heap.h"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+#include "core/fault_manager.h"
+#include "vm/vm_stats.h"
+
+namespace dpg::core {
+
+ShadowEngine::ShadowEngine(vm::PhysArena& arena, alloc::MallocLike& under,
+                           vm::VaFreeList* shadow_freelist, GuardConfig cfg)
+    : arena_(arena),
+      under_(under),
+      shadow_freelist_(shadow_freelist),
+      mapper_(arena, cfg.strategy),
+      cfg_(cfg) {
+  head_.prev = &head_;
+  head_.next = &head_;
+  FaultManager::instance().install();
+}
+
+ShadowEngine::~ShadowEngine() { release_all(); }
+
+void* ShadowEngine::malloc(std::size_t size, SiteId site) {
+  std::lock_guard lock(mu_);
+  return do_alloc_locked(size, site);
+}
+
+void* ShadowEngine::calloc(std::size_t count, std::size_t size, SiteId site) {
+  if (count != 0 && size > std::numeric_limits<std::size_t>::max() / count) {
+    return nullptr;  // multiplication would overflow: the calloc contract
+  }
+  const std::size_t total = count * size;
+  std::lock_guard lock(mu_);
+  void* p = do_alloc_locked(total, site);
+  // Canonical blocks are recycled, so the memory may hold stale bytes.
+  std::memset(p, 0, total);
+  return p;
+}
+
+void* ShadowEngine::realloc(void* p, std::size_t new_size, SiteId site) {
+  if (p == nullptr) return malloc(new_size, site);
+  std::unique_lock lock(mu_);
+  if (new_size == 0) {
+    free_locked(lock, p, site);
+    return nullptr;
+  }
+  const ObjectRecord* rec = ShadowRegistry::global().lookup(vm::addr(p));
+  if (rec == nullptr || rec->user_shadow != vm::addr(p) ||
+      rec->state.load(std::memory_order_acquire) == ObjectState::kFreed) {
+    // Stale or foreign pointer: same disposition as an invalid/double free.
+    free_locked(lock, p, site);  // raises; does not return
+  }
+  const std::size_t old_size = rec->user_size;
+  void* fresh = do_alloc_locked(new_size, site);
+  std::memcpy(fresh, p, old_size < new_size ? old_size : new_size);
+  // The old pointer is now a guarded dangling pointer (realloc's contract:
+  // any use of `p` after this point is a temporal error and will trap).
+  free_locked(lock, p, site);
+  return fresh;
+}
+
+void* ShadowEngine::do_alloc_locked(std::size_t size, SiteId site) {
+  // "An allocation request is passed to malloc with the size incremented by
+  //  sizeof(addr_t) bytes; the extra bytes at the start of the object will be
+  //  used to record an address for bookkeeping purposes." (Section 3.2)
+  const std::size_t total = size + kGuardHeader;
+  void* canonical = under_.malloc(total);
+  const std::uintptr_t canon_addr = vm::addr(canonical);
+  const std::uintptr_t first_page = vm::page_down(canon_addr);
+  const std::size_t data_span = vm::page_up(canon_addr + total) - first_page;
+  const std::size_t guard = cfg_.trailing_guard_page ? vm::kPageSize : 0;
+  const std::size_t span_len = data_span + guard;
+
+  void* fixed = nullptr;
+  if (cfg_.reuse_shadow_va && shadow_freelist_ != nullptr) {
+    if (auto reused = shadow_freelist_->take(span_len)) {
+      fixed = reinterpret_cast<void*>(reused->base);
+    }
+  }
+
+  void* shadow_base = nullptr;
+  if (guard == 0) {
+    shadow_base = mapper_.alias(reinterpret_cast<void*>(first_page), data_span,
+                                fixed);
+  } else if (fixed == nullptr) {
+    // Reserve data + guard in one anonymous PROT_NONE mapping, then place
+    // the aliased data pages over its head; the tail page stays as the
+    // unmapped-equivalent guard.
+    void* region = mmap(nullptr, span_len, PROT_NONE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    vm::syscall_counters().mmap.fetch_add(1, std::memory_order_relaxed);
+    if (region == MAP_FAILED) throw std::bad_alloc{};
+    shadow_base =
+        mapper_.alias(reinterpret_cast<void*>(first_page), data_span, region);
+  } else {
+    // Recycled range: alias the data part in place and convert the tail page
+    // (whatever old mapping occupied it) into a fresh guard.
+    shadow_base =
+        mapper_.alias(reinterpret_cast<void*>(first_page), data_span, fixed);
+    vm::PhysArena::map_guard(static_cast<std::byte*>(shadow_base) + data_span,
+                             guard);
+  }
+
+  if (fixed != nullptr) {
+    stats_.shadow_pages_reused += span_len / vm::kPageSize;
+  } else {
+    stats_.shadow_pages_mapped += span_len / vm::kPageSize;
+  }
+
+  // Header word: the canonical address, written through the shadow view (the
+  // same physical memory, so the underlying allocator could equally read it
+  // at the canonical address).
+  const std::uintptr_t shadow_canon = vm::addr(shadow_base) +
+                                      (canon_addr - first_page);
+  *reinterpret_cast<std::uintptr_t*>(shadow_canon) = canon_addr;
+
+  auto* rec = new ObjectRecord;
+  rec->shadow_base = vm::addr(shadow_base);
+  rec->span_length = span_len;
+  rec->guard_length = guard;
+  rec->user_shadow = shadow_canon + kGuardHeader;
+  rec->user_size = size;
+  rec->canonical = canon_addr;
+  rec->alloc_site = site;
+  rec->state.store(ObjectState::kLive, std::memory_order_release);
+
+  // Append at tail: the list stays ordered oldest-first for reclamation.
+  rec->prev = head_.prev;
+  rec->next = &head_;
+  head_.prev->next = rec;
+  head_.prev = rec;
+
+  ShadowRegistry::global().insert(*rec);
+
+  stats_.allocations++;
+  stats_.live_records++;
+  stats_.guarded_bytes += span_len;
+  return reinterpret_cast<void*>(rec->user_shadow);
+}
+
+void ShadowEngine::free(void* p, SiteId site) {
+  if (p == nullptr) return;
+  std::unique_lock lock(mu_);
+  free_locked(lock, p, site);
+}
+
+void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
+                               SiteId site) {
+  const std::uintptr_t user = vm::addr(p);
+  const ObjectRecord* found = ShadowRegistry::global().lookup(user);
+  // Objects never share a shadow page, so a page hit identifies the object;
+  // still require the exact pointer, as free() of an interior pointer is an
+  // error in its own right.
+  if (found == nullptr || found->user_shadow != user) {
+    stats_.invalid_frees++;
+    DanglingReport report;
+    report.kind = AccessKind::kInvalidFree;
+    report.fault_address = user;
+    lock.unlock();  // dispatch may longjmp; never hold the lock across it
+    FaultManager::instance().raise_software(report);
+  }
+  if (found->state.load(std::memory_order_acquire) == ObjectState::kFreed) {
+    // Deterministic double-free detection. (The paper's formulation — the
+    // header-word read trapping on the protected page — also holds here, but
+    // checking the record first yields a precise report.)
+    stats_.double_frees++;
+    DanglingReport report;
+    report.kind = AccessKind::kFree;
+    report.fault_address = user;
+    report.object_base = found->user_shadow;
+    report.object_size = found->user_size;
+    report.alloc_site = found->alloc_site;
+    report.free_site = found->free_site;
+    lock.unlock();
+    FaultManager::instance().raise_software(report);
+  }
+  auto* rec = const_cast<ObjectRecord*>(found);
+
+  // Consistency check: the header word must still name the canonical address
+  // (its page is readable until the mprotect below).
+  assert(*reinterpret_cast<std::uintptr_t*>(user - kGuardHeader) ==
+         rec->canonical);
+
+  rec->free_site = site;
+  rec->state.store(ObjectState::kFreed, std::memory_order_release);
+  stats_.frees++;
+
+  if (cfg_.protect_batch > 1) {
+    // Deferred protection: the canonical block is NOT returned yet, so the
+    // physical memory cannot be reused before the span is protected.
+    pending_protect_.push_back(rec);
+    if (pending_protect_.size() >= cfg_.protect_batch) {
+      flush_protections_locked();
+      enforce_budget_locked();
+    }
+    return;
+  }
+
+  vm::PhysArena::protect_none(reinterpret_cast<void*>(rec->shadow_base),
+                              rec->span_length);
+  stats_.protect_calls++;
+  under_.free(reinterpret_cast<void*>(rec->canonical));
+  freed_bytes_held_ += rec->span_length;
+  enforce_budget_locked();
+}
+
+void ShadowEngine::flush_protections() {
+  std::lock_guard lock(mu_);
+  flush_protections_locked();
+}
+
+void ShadowEngine::flush_protections_locked() {
+  if (pending_protect_.empty()) return;
+  // Address-sort and merge adjacent spans: one mprotect per contiguous run.
+  std::sort(pending_protect_.begin(), pending_protect_.end(),
+            [](const ObjectRecord* a, const ObjectRecord* b) {
+              return a->shadow_base < b->shadow_base;
+            });
+  std::uintptr_t run_base = 0;
+  std::size_t run_len = 0;
+  const auto emit = [&] {
+    if (run_len != 0) {
+      vm::PhysArena::protect_none(reinterpret_cast<void*>(run_base), run_len);
+      stats_.protect_calls++;
+    }
+  };
+  for (const ObjectRecord* rec : pending_protect_) {
+    if (rec->shadow_base == run_base + run_len) {
+      run_len += rec->span_length;  // extends the current run
+      stats_.protect_calls_saved++;
+    } else {
+      emit();
+      run_base = rec->shadow_base;
+      run_len = rec->span_length;
+    }
+  }
+  emit();
+  for (ObjectRecord* rec : pending_protect_) {
+    under_.free(reinterpret_cast<void*>(rec->canonical));
+    freed_bytes_held_ += rec->span_length;
+  }
+  pending_protect_.clear();
+}
+
+void ShadowEngine::enforce_budget_locked() {
+  if (cfg_.freed_va_budget == 0 || freed_bytes_held_ <= cfg_.freed_va_budget) {
+    return;
+  }
+  // §3.4 strategy 1: recycle the oldest freed spans down to half budget.
+  std::size_t target = freed_bytes_held_ - cfg_.freed_va_budget / 2;
+  for (ObjectRecord* it = head_.next; it != &head_ && target > 0;) {
+    ObjectRecord* next = it->next;
+    if (it->state.load(std::memory_order_relaxed) == ObjectState::kFreed) {
+      const std::size_t len = it->span_length;
+      release_record_locked(it, /*recycle_va=*/true);
+      target = target > len ? target - len : 0;
+    }
+    it = next;
+  }
+}
+
+std::size_t ShadowEngine::size_of(const void* p) const {
+  const ObjectRecord* rec = ShadowRegistry::global().lookup(vm::addr(p));
+  return rec != nullptr ? rec->user_size : 0;
+}
+
+void ShadowEngine::unlink_locked(ObjectRecord* rec) noexcept {
+  rec->prev->next = rec->next;
+  rec->next->prev = rec->prev;
+}
+
+void ShadowEngine::release_record_locked(ObjectRecord* rec, bool recycle_va) {
+  ShadowRegistry::global().erase(*rec);
+  const vm::PageRange span{rec->shadow_base, rec->span_length};
+  if (recycle_va && shadow_freelist_ != nullptr) {
+    shadow_freelist_->put(span);
+  } else {
+    arena_.unmap(reinterpret_cast<void*>(span.base), span.length);
+  }
+  if (rec->state.load(std::memory_order_relaxed) == ObjectState::kFreed) {
+    freed_bytes_held_ -= rec->span_length;
+  }
+  stats_.va_reclaimed_pages += span.pages();
+  stats_.live_records--;
+  stats_.guarded_bytes -= span.length;
+  unlink_locked(rec);
+  delete rec;
+}
+
+void ShadowEngine::release_all() {
+  std::lock_guard lock(mu_);
+  flush_protections_locked();  // pending canonical blocks must reach under_
+  while (head_.next != &head_) {
+    release_record_locked(head_.next, /*recycle_va=*/true);
+  }
+}
+
+std::size_t ShadowEngine::reclaim_freed(std::size_t bytes) {
+  std::lock_guard lock(mu_);
+  flush_protections_locked();
+  std::size_t reclaimed = 0;
+  for (ObjectRecord* it = head_.next; it != &head_ && reclaimed < bytes;) {
+    ObjectRecord* next = it->next;
+    if (it->state.load(std::memory_order_relaxed) == ObjectState::kFreed) {
+      reclaimed += it->span_length;
+      release_record_locked(it, /*recycle_va=*/true);
+    }
+    it = next;
+  }
+  return reclaimed;
+}
+
+std::vector<ObjectRecord*> ShadowEngine::freed_records() {
+  std::lock_guard lock(mu_);
+  flush_protections_locked();  // external consumers expect protected spans
+  std::vector<ObjectRecord*> out;
+  for (ObjectRecord* it = head_.next; it != &head_; it = it->next) {
+    if (it->state.load(std::memory_order_relaxed) == ObjectState::kFreed) {
+      out.push_back(it);
+    }
+  }
+  return out;
+}
+
+std::vector<ObjectRecord*> ShadowEngine::live_records() {
+  std::lock_guard lock(mu_);
+  std::vector<ObjectRecord*> out;
+  for (ObjectRecord* it = head_.next; it != &head_; it = it->next) {
+    if (it->state.load(std::memory_order_relaxed) == ObjectState::kLive) {
+      out.push_back(it);
+    }
+  }
+  return out;
+}
+
+void ShadowEngine::reclaim(ObjectRecord* rec) {
+  std::lock_guard lock(mu_);
+  assert(rec->state.load(std::memory_order_relaxed) == ObjectState::kFreed);
+  release_record_locked(rec, /*recycle_va=*/true);
+}
+
+GuardStats ShadowEngine::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+GuardedHeap::GuardedHeap(vm::PhysArena& arena, GuardConfig cfg)
+    : source_(arena), heap_(source_), engine_(arena, heap_, &shadow_va_, cfg) {}
+
+}  // namespace dpg::core

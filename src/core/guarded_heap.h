@@ -1,0 +1,165 @@
+// ShadowEngine + GuardedHeap — the paper's primary contribution (Section 3.2).
+//
+// Allocation: the request is passed to the underlying allocator with the size
+// incremented by one word; the word before the user object records the
+// canonical address. A fresh virtual page (or run) aliasing the canonical
+// physical pages is created, and the caller receives the object *on the
+// shadow page at the same offset within the page*. The underlying allocator
+// still believes the object lives at the canonical address.
+//
+// Deallocation: the shadow span is mprotect(PROT_NONE)'d — every future
+// read/write/free through any pointer to the object traps — and the
+// *canonical* address is handed back to the underlying allocator, so the
+// physical memory is reused exactly as in the original program.
+//
+// Shadow virtual pages are reused only when their owner proves no pointers
+// remain: pool destruction (GuardedPool), budgeted reclamation (§3.4
+// strategy 1), or a conservative GC pass (§3.4 strategy 2) push spans onto a
+// shared VA free list, and new shadow mappings are placed over recycled
+// addresses with MAP_FIXED — no munmap per object.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "alloc/alloc_iface.h"
+#include "alloc/heap.h"
+#include "core/registry.h"
+#include "core/stats.h"
+#include "vm/shadow_map.h"
+#include "vm/va_freelist.h"
+
+namespace dpg::core {
+
+struct GuardConfig {
+  vm::AliasStrategy strategy = vm::AliasStrategy::kMemfd;
+  // Reuse shadow VAs from the shared free list (MAP_FIXED path). Disable to
+  // model the naive never-reuse scheme.
+  bool reuse_shadow_va = true;
+  // §3.4 strategy 1: when the bytes held by freed-but-still-guarded spans
+  // exceed this budget, the oldest freed spans are recycled (giving up
+  // detection for those objects, as the paper accepts). 0 = unlimited.
+  std::size_t freed_va_budget = 0;
+  // Extension (paper §6 future work: combining with spatial checking): place
+  // an anonymous PROT_NONE guard page after each object's shadow span, so
+  // any access past the span's end traps as an overflow while the object is
+  // still live. Page-granular: tail slack within the last data page is not
+  // covered (the aliasing constraint pins the object's in-page offset).
+  // Costs one extra virtual page per allocation, zero physical memory.
+  bool trailing_guard_page = false;
+  // Extension (paper §6: reducing the per-deallocation syscall cost): defer
+  // protection of freed objects and apply it in address-sorted batches,
+  // merging adjacent shadow spans into single mprotect calls. The underlying
+  // free is deferred with it, so freed memory is never reused before it is
+  // protected — soundness against *reuse* is kept; the trade is a bounded
+  // window (at most protect_batch frees) during which a dangling use reads
+  // stale-but-unreused data undetected. 0 = protect immediately (the
+  // paper's configuration).
+  std::size_t protect_batch = 0;
+};
+
+class ShadowEngine {
+ public:
+  // `shadow_freelist` may be shared across engines (the paper's free list is
+  // "shared across pools"); pass nullptr to munmap spans on release instead.
+  ShadowEngine(vm::PhysArena& arena, alloc::MallocLike& under,
+               vm::VaFreeList* shadow_freelist, GuardConfig cfg = {});
+  ~ShadowEngine();
+
+  ShadowEngine(const ShadowEngine&) = delete;
+  ShadowEngine& operator=(const ShadowEngine&) = delete;
+
+  [[nodiscard]] void* malloc(std::size_t size, SiteId site = 0);
+  void free(void* p, SiteId site = 0);
+  [[nodiscard]] std::size_t size_of(const void* p) const;
+
+  // calloc semantics: zeroed memory, overflow-checked count*size (returns
+  // nullptr on overflow, like the C allocator contract).
+  [[nodiscard]] void* calloc(std::size_t count, std::size_t size,
+                             SiteId site = 0);
+  // realloc semantics: grows/shrinks by move. The OLD pointer becomes a
+  // guarded dangling pointer — the classic realloc-stale-alias bug class is
+  // detected exactly like a free.
+  [[nodiscard]] void* realloc(void* p, std::size_t new_size, SiteId site = 0);
+
+  // Applies any deferred batched protections now (no-op when
+  // protect_batch == 0 or nothing is pending).
+  void flush_protections();
+
+  // Releases *every* span this engine created (live and freed): purges the
+  // registry and recycles the VAs. This is the pooldestroy path — legal only
+  // when the caller can bound the lifetime of all pointers into the engine.
+  void release_all();
+
+  // Recycles freed spans until at least `bytes` are reclaimed (oldest first).
+  // Returns bytes actually reclaimed. Used by the VA-budget strategy and GC.
+  std::size_t reclaim_freed(std::size_t bytes);
+
+  // --- conservative-GC support (advanced; see gc_scan.h) ---
+  [[nodiscard]] std::vector<ObjectRecord*> freed_records();
+  [[nodiscard]] std::vector<ObjectRecord*> live_records();
+  void reclaim(ObjectRecord* rec);  // must be a freed record of this engine
+
+  [[nodiscard]] GuardStats stats() const;
+  [[nodiscard]] alloc::MallocLike& underlying() noexcept { return under_; }
+
+  static constexpr std::size_t kGuardHeader = sizeof(std::uintptr_t);
+
+ private:
+  void* do_alloc_locked(std::size_t size, SiteId site);
+  void free_locked(std::unique_lock<std::mutex>& lock, void* p, SiteId site);
+  void release_record_locked(ObjectRecord* rec, bool recycle_va);
+  void unlink_locked(ObjectRecord* rec) noexcept;
+  void flush_protections_locked();
+  void enforce_budget_locked();
+
+  vm::PhysArena& arena_;
+  alloc::MallocLike& under_;
+  vm::VaFreeList* shadow_freelist_;
+  vm::ShadowMapper mapper_;
+  GuardConfig cfg_;
+
+  mutable std::mutex mu_;
+  ObjectRecord head_;  // intrusive list sentinel, oldest first
+  std::vector<ObjectRecord*> pending_protect_;  // batched-mode frees
+  std::size_t freed_bytes_held_ = 0;
+  GuardStats stats_;
+};
+
+// GuardedHeap: drop-in malloc/free built from a SegregatedHeap inside a
+// PhysArena plus a ShadowEngine. This is the "directly applicable to
+// binaries" configuration (no pool allocation): just intercept malloc/free.
+class GuardedHeap {
+ public:
+  explicit GuardedHeap(vm::PhysArena& arena, GuardConfig cfg = {});
+
+  [[nodiscard]] void* malloc(std::size_t size, SiteId site = 0) {
+    return engine_.malloc(size, site);
+  }
+  void free(void* p, SiteId site = 0) { engine_.free(p, site); }
+  [[nodiscard]] void* calloc(std::size_t count, std::size_t size,
+                             SiteId site = 0) {
+    return engine_.calloc(count, size, site);
+  }
+  [[nodiscard]] void* realloc(void* p, std::size_t new_size, SiteId site = 0) {
+    return engine_.realloc(p, new_size, site);
+  }
+  [[nodiscard]] std::size_t size_of(const void* p) const {
+    return engine_.size_of(p);
+  }
+
+  [[nodiscard]] GuardStats stats() const { return engine_.stats(); }
+  [[nodiscard]] alloc::HeapStats heap_stats() const { return heap_.stats(); }
+  [[nodiscard]] ShadowEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] vm::VaFreeList& shadow_freelist() noexcept { return shadow_va_; }
+
+ private:
+  alloc::ArenaSource source_;
+  alloc::SegregatedHeap heap_;
+  vm::VaFreeList shadow_va_;
+  ShadowEngine engine_;
+};
+
+}  // namespace dpg::core

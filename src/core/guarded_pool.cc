@@ -1,0 +1,22 @@
+#include "core/guarded_pool.h"
+
+namespace dpg::core {
+
+namespace {
+thread_local PoolScope* t_current_scope = nullptr;
+}  // namespace
+
+PoolScope::PoolScope(GuardedPoolContext& ctx, std::size_t elem_hint)
+    : pool_(ctx, elem_hint), parent_(t_current_scope) {
+  t_current_scope = this;
+}
+
+PoolScope::~PoolScope() {
+  t_current_scope = parent_;
+  // ~GuardedPool runs destroy(): every shadow and canonical page of this
+  // scope becomes recyclable, exactly the paper's pooldestroy semantics.
+}
+
+PoolScope* PoolScope::current() noexcept { return t_current_scope; }
+
+}  // namespace dpg::core

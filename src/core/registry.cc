@@ -1,0 +1,142 @@
+#include "core/registry.h"
+
+#include <cassert>
+#include <new>
+
+namespace dpg::core {
+
+namespace {
+
+// Multiplicative hash over the page number; the low bits feed the probe.
+[[nodiscard]] std::size_t hash_page(std::uintptr_t page) noexcept {
+  std::uint64_t x = static_cast<std::uint64_t>(page >> vm::kPageShift);
+  x *= 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>(x >> 17);
+}
+
+}  // namespace
+
+ShadowRegistry::ShadowRegistry(std::size_t initial_slots)
+    : table_(make_table(initial_slots)) {}
+
+ShadowRegistry::~ShadowRegistry() {
+  Table* t = table_.load(std::memory_order_relaxed);
+  delete[] t->slots;
+  delete t;
+  for (Table* old : retired_) {
+    delete[] old->slots;
+    delete old;
+  }
+}
+
+ShadowRegistry& ShadowRegistry::global() {
+  static ShadowRegistry* instance = new ShadowRegistry();  // never destroyed:
+  // the SIGSEGV handler may outlive static teardown order.
+  return *instance;
+}
+
+ShadowRegistry::Table* ShadowRegistry::make_table(std::size_t slot_count) {
+  assert((slot_count & (slot_count - 1)) == 0);
+  auto* t = new Table{};
+  t->mask = slot_count - 1;
+  t->slots = new Slot[slot_count];
+  return t;
+}
+
+void ShadowRegistry::put(Table& t, std::uintptr_t page,
+                         const ObjectRecord* rec) {
+  std::size_t i = hash_page(page) & t.mask;
+  for (;;) {
+    const std::uintptr_t key = t.slots[i].key.load(std::memory_order_relaxed);
+    if (key == page) {
+      t.slots[i].value.store(rec, std::memory_order_release);
+      return;
+    }
+    if (key == 0 || key == kTombstone) {
+      if (key == 0) t.used++;
+      t.live++;
+      // Publish value before key so a concurrent reader that sees the key
+      // also sees the value.
+      t.slots[i].value.store(rec, std::memory_order_release);
+      t.slots[i].key.store(page, std::memory_order_release);
+      return;
+    }
+    i = (i + 1) & t.mask;
+  }
+}
+
+void ShadowRegistry::grow_locked(std::size_t min_live) {
+  Table* old = table_.load(std::memory_order_relaxed);
+  std::size_t slots = old->mask + 1;
+  while (slots < min_live * 4) slots *= 2;
+  Table* fresh = make_table(slots);
+  for (std::size_t i = 0; i <= old->mask; ++i) {
+    const std::uintptr_t key = old->slots[i].key.load(std::memory_order_relaxed);
+    if (key != 0 && key != kTombstone) {
+      put(*fresh, key, old->slots[i].value.load(std::memory_order_relaxed));
+    }
+  }
+  retired_.push_back(old);
+  table_.store(fresh, std::memory_order_release);
+}
+
+void ShadowRegistry::insert(const ObjectRecord& rec) {
+  std::lock_guard lock(mu_);
+  Table* t = table_.load(std::memory_order_relaxed);
+  const std::size_t pages = rec.span_length / vm::kPageSize;
+  if ((t->used + pages) * 2 > t->mask + 1) {
+    grow_locked(t->live + pages);
+    t = table_.load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < pages; ++i) {
+    put(*t, rec.shadow_base + i * vm::kPageSize, &rec);
+  }
+}
+
+void ShadowRegistry::erase(const ObjectRecord& rec) {
+  std::lock_guard lock(mu_);
+  Table* t = table_.load(std::memory_order_relaxed);
+  const std::size_t pages = rec.span_length / vm::kPageSize;
+  for (std::size_t p = 0; p < pages; ++p) {
+    const std::uintptr_t page = rec.shadow_base + p * vm::kPageSize;
+    std::size_t i = hash_page(page) & t->mask;
+    for (;;) {
+      const std::uintptr_t key = t->slots[i].key.load(std::memory_order_relaxed);
+      if (key == page) {
+        // Tombstone the key first so readers stop matching, then clear the
+        // value. A reader racing here may still return the record, which is
+        // safe: erase() is only called while the record is still allocated.
+        t->slots[i].key.store(kTombstone, std::memory_order_release);
+        t->slots[i].value.store(nullptr, std::memory_order_release);
+        t->live--;
+        break;
+      }
+      if (key == 0) break;  // never inserted (erase is idempotent)
+      i = (i + 1) & t->mask;
+    }
+  }
+}
+
+const ObjectRecord* ShadowRegistry::lookup(std::uintptr_t addr) const noexcept {
+  const Table* t = table_.load(std::memory_order_acquire);
+  const std::uintptr_t page = vm::page_down(addr);
+  std::size_t i = hash_page(page) & t->mask;
+  // Bounded probe: the mutators keep load factor <= 0.5, so an unbroken run
+  // longer than the table means corruption; bail out rather than spin.
+  for (std::size_t n = 0; n <= t->mask; ++n) {
+    const std::uintptr_t key = t->slots[i].key.load(std::memory_order_acquire);
+    if (key == page) {
+      return t->slots[i].value.load(std::memory_order_acquire);
+    }
+    if (key == 0) return nullptr;
+    i = (i + 1) & t->mask;
+  }
+  return nullptr;
+}
+
+std::size_t ShadowRegistry::entries() const {
+  std::lock_guard lock(mu_);
+  return table_.load(std::memory_order_relaxed)->live;
+}
+
+}  // namespace dpg::core

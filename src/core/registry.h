@@ -1,0 +1,95 @@
+// ShadowRegistry — async-signal-safe map from shadow page to object record.
+//
+// When the MMU traps a dangling access, the SIGSEGV handler must turn a raw
+// fault address into a diagnostic: which object, how large, where allocated,
+// where freed. Handlers cannot take locks, so the registry is an open-
+// addressing hash table with atomic slots. Mutators (alloc/free paths)
+// serialize on a mutex; the lookup path reads only a snapshot-published table
+// pointer and atomic slot fields. Tables that have been grown out of are
+// retired (not freed) until the registry is destroyed, so a handler racing a
+// rehash still dereferences valid memory.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/report.h"
+#include "vm/page.h"
+
+namespace dpg::core {
+
+enum class ObjectState : std::uint32_t {
+  kLive,
+  kFreed,  // shadow pages PROT_NONE; any access is a dangling use
+};
+
+// One record per allocation. Owned by the guard engine that created it and
+// linked into that engine's intrusive list so pool destruction can purge and
+// recycle everything the pool produced.
+struct ObjectRecord {
+  std::uintptr_t shadow_base = 0;  // page-aligned base of the shadow span
+  std::size_t span_length = 0;     // bytes covered incl. guard, page multiple
+  std::size_t guard_length = 0;    // trailing guard bytes (0 or one page)
+  std::uintptr_t user_shadow = 0;  // pointer handed to the program
+  std::size_t user_size = 0;       // requested payload size
+  std::uintptr_t canonical = 0;    // address the underlying allocator returned
+  SiteId alloc_site = 0;
+  SiteId free_site = 0;
+  std::atomic<ObjectState> state{ObjectState::kLive};
+
+  ObjectRecord* prev = nullptr;  // intrusive owner list
+  ObjectRecord* next = nullptr;
+};
+
+class ShadowRegistry {
+ public:
+  explicit ShadowRegistry(std::size_t initial_slots = 1u << 14);
+  ~ShadowRegistry();
+
+  ShadowRegistry(const ShadowRegistry&) = delete;
+  ShadowRegistry& operator=(const ShadowRegistry&) = delete;
+
+  // Maps every page of rec's shadow span to &rec. The record must outlive its
+  // registration.
+  void insert(const ObjectRecord& rec);
+
+  // Unmaps every page of rec's shadow span (called when the span's VA is
+  // recycled at pool destruction or budget reclamation).
+  void erase(const ObjectRecord& rec);
+
+  // Async-signal-safe: resolves any address (not just page-aligned) to the
+  // record whose shadow span covers it, or nullptr.
+  [[nodiscard]] const ObjectRecord* lookup(std::uintptr_t addr) const noexcept;
+
+  [[nodiscard]] std::size_t entries() const;
+
+  // Process-wide registry used by the fault manager and all guard engines.
+  static ShadowRegistry& global();
+
+ private:
+  struct Slot {
+    std::atomic<std::uintptr_t> key{0};  // page base; 0 empty, 1 tombstone
+    std::atomic<const ObjectRecord*> value{nullptr};
+  };
+  struct Table {
+    std::size_t mask;         // slot count - 1 (power of two)
+    std::size_t used = 0;     // live + tombstoned slots
+    std::size_t live = 0;     // live slots
+    Slot* slots;
+  };
+
+  static constexpr std::uintptr_t kTombstone = 1;
+
+  static Table* make_table(std::size_t slot_count);
+  void grow_locked(std::size_t min_live);
+  static void put(Table& t, std::uintptr_t page, const ObjectRecord* rec);
+
+  mutable std::mutex mu_;
+  std::atomic<Table*> table_;
+  std::vector<Table*> retired_;
+};
+
+}  // namespace dpg::core

@@ -1,0 +1,60 @@
+// Diagnostic types produced when a dangling pointer use is detected.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dpg::core {
+
+// Site identifiers let callers tag allocation/free program points (the
+// compiler substrate emits instruction ids; hand-written code can use any
+// scheme, e.g. __LINE__). Zero means "unknown site".
+using SiteId = std::uint32_t;
+
+// What the dangling pointer was used for. The paper (Section 2.1): "use of a
+// pointer is a read, write or free operation on that pointer".
+enum class AccessKind : std::uint8_t {
+  kRead,
+  kWrite,
+  kFree,        // free() of an already-freed object (double free)
+  kInvalidFree, // free() of a pointer we never allocated
+  kOverflow,    // access past a live object's last page (trailing guard)
+  kUnknown,     // fault where read/write could not be classified
+};
+
+[[nodiscard]] constexpr const char* to_string(AccessKind k) noexcept {
+  switch (k) {
+    case AccessKind::kRead: return "read";
+    case AccessKind::kWrite: return "write";
+    case AccessKind::kFree: return "double-free";
+    case AccessKind::kInvalidFree: return "invalid-free";
+    case AccessKind::kOverflow: return "overflow";
+    case AccessKind::kUnknown: return "access";
+  }
+  return "?";
+}
+
+struct DanglingReport {
+  AccessKind kind = AccessKind::kUnknown;
+  std::uintptr_t fault_address = 0;  // the dangling pointer value used
+  std::uintptr_t object_base = 0;    // shadow address the program was given
+  std::size_t object_size = 0;
+  SiteId alloc_site = 0;
+  SiteId free_site = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+inline std::string DanglingReport::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "dangling %s of %p: object [%p, +%zu) allocated at site %u, "
+                "freed at site %u",
+                to_string(kind), reinterpret_cast<void*>(fault_address),
+                reinterpret_cast<void*>(object_base), object_size, alloc_site,
+                free_site);
+  return buf;
+}
+
+}  // namespace dpg::core

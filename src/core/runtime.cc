@@ -1,0 +1,24 @@
+#include "core/runtime.h"
+
+namespace dpg::core {
+
+Runtime& Runtime::instance(const RuntimeConfig& cfg) {
+  // Leaked intentionally: the fault handler and any late frees must keep
+  // working during static destruction.
+  static Runtime* rt = new Runtime(cfg);
+  return *rt;
+}
+
+void* dpg_malloc(std::size_t size) { return Runtime::instance().heap().malloc(size); }
+
+void dpg_free(void* p) { Runtime::instance().heap().free(p); }
+
+void* dpg_calloc(std::size_t count, std::size_t size) {
+  return Runtime::instance().heap().calloc(count, size);
+}
+
+void* dpg_realloc(void* p, std::size_t new_size) {
+  return Runtime::instance().heap().realloc(p, new_size);
+}
+
+}  // namespace dpg::core

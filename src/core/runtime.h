@@ -1,0 +1,55 @@
+// Runtime — process-wide facade and the drop-in malloc/free entry points.
+//
+// The paper stresses that "if reuse of address space is not important ...
+// our technique can be directly applied on the binaries ... we just need to
+// intercept all calls to malloc and free". dpg_malloc/dpg_free are that
+// interception surface: they route through a global GuardedHeap, with no
+// pool allocation involved. Programs wanting VA reuse use GuardedPool /
+// PoolScope (or the compiler substrate) instead.
+#pragma once
+
+#include <cstddef>
+
+#include "core/guarded_heap.h"
+#include "core/guarded_pool.h"
+
+namespace dpg::core {
+
+struct RuntimeConfig {
+  GuardConfig guard;
+  std::size_t arena_window = vm::PhysArena::kDefaultWindow;
+};
+
+class Runtime {
+ public:
+  // First call fixes the configuration; later calls ignore `cfg`.
+  static Runtime& instance(const RuntimeConfig& cfg = {});
+
+  [[nodiscard]] GuardedHeap& heap() noexcept { return heap_; }
+  [[nodiscard]] vm::PhysArena& arena() noexcept { return arena_; }
+
+  // Aggregate §3.4 arithmetic: seconds until a process that consumes
+  // `pages_per_second` fresh shadow pages with no reuse exhausts `va_bits`
+  // of user address space (the paper's 9-hour calculation uses 2^47 and one
+  // 4K page per microsecond).
+  [[nodiscard]] static double seconds_until_va_exhaustion(
+      double pages_per_second, unsigned va_bits = 47) noexcept {
+    const double bytes = static_cast<double>(std::uintptr_t{1} << va_bits);
+    return bytes / (static_cast<double>(vm::kPageSize) * pages_per_second);
+  }
+
+ private:
+  explicit Runtime(const RuntimeConfig& cfg)
+      : arena_(cfg.arena_window), heap_(arena_, cfg.guard) {}
+
+  vm::PhysArena arena_;
+  GuardedHeap heap_;
+};
+
+// Drop-in allocation entry points backed by Runtime::instance().
+[[nodiscard]] void* dpg_malloc(std::size_t size);
+void dpg_free(void* p);
+[[nodiscard]] void* dpg_calloc(std::size_t count, std::size_t size);
+[[nodiscard]] void* dpg_realloc(void* p, std::size_t new_size);
+
+}  // namespace dpg::core

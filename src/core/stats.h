@@ -1,0 +1,25 @@
+// Counters the guard layer keeps; these feed EXPERIMENTS.md and the §4.3
+// address-space study (bench_addrspace).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dpg::core {
+
+struct GuardStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t shadow_pages_mapped = 0;   // fresh virtual pages consumed
+  std::uint64_t shadow_pages_reused = 0;   // satisfied from the VA free list
+  std::uint64_t va_reclaimed_pages = 0;    // pages recycled (pool destroy /
+                                           // budget / GC)
+  std::uint64_t double_frees = 0;
+  std::uint64_t invalid_frees = 0;
+  std::uint64_t protect_calls = 0;        // mprotect calls actually issued
+  std::uint64_t protect_calls_saved = 0;  // frees amortized by batching
+  std::size_t live_records = 0;            // live + freed-but-still-guarded
+  std::size_t guarded_bytes = 0;           // shadow span bytes currently held
+};
+
+}  // namespace dpg::core

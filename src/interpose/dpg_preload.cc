@@ -1,0 +1,127 @@
+// LD_PRELOAD malloc interposition — the paper's binary-only deployment mode.
+//
+// "If reuse of address space is not important, particularly during
+//  debugging, our technique can be directly applied on the binaries and does
+//  not require source code; we just need to intercept all calls to malloc
+//  and free from the program." (Section 1)
+//
+//   LD_PRELOAD=libdpg_preload.so ./victim
+//
+// Every interposed allocation is guarded; a dangling read/write/free in the
+// victim aborts with a dpguard report. Design notes:
+//
+//   - Reentrancy: the guard runtime itself allocates (records, registry
+//     tables). A thread-local depth flag routes those internal allocations
+//     to glibc's __libc_malloc, so there is no recursion.
+//   - Foreign pointers: allocations made before interposition took effect
+//     (ld.so, early libc) and any the runtime made internally are not in the
+//     shadow registry; free() forwards them to __libc_free instead of
+//     reporting an invalid free. (The invalid-free check is therefore
+//     weakened in preload mode — a documented trade for compatibility.)
+//   - memalign family: alignments beyond the allocator's natural 16 bytes
+//     cannot be guaranteed on shadow pages (the in-page offset is pinned to
+//     the canonical offset), so those requests fall through to glibc,
+//     unguarded but correct.
+#include <cstddef>
+#include <cstring>
+#include <new>
+
+#include "core/registry.h"
+#include "core/runtime.h"
+
+extern "C" {
+void* __libc_malloc(std::size_t size);
+void __libc_free(void* p);
+void* __libc_calloc(std::size_t count, std::size_t size);
+void* __libc_realloc(void* p, std::size_t size);
+void* __libc_memalign(std::size_t alignment, std::size_t size);
+}
+
+namespace {
+
+thread_local int t_depth = 0;
+
+struct DepthGuard {
+  DepthGuard() { t_depth++; }
+  ~DepthGuard() { t_depth--; }
+};
+
+dpg::core::GuardedHeap& heap() {
+  // Runtime construction allocates; the caller holds the depth guard.
+  return dpg::core::Runtime::instance(
+             {.guard = {.freed_va_budget = std::size_t{256} << 20}})
+      .heap();
+}
+
+bool is_guarded(const void* p) {
+  const auto* rec =
+      dpg::core::ShadowRegistry::global().lookup(dpg::vm::addr(p));
+  return rec != nullptr && rec->user_shadow == dpg::vm::addr(p);
+}
+
+}  // namespace
+
+extern "C" {
+
+void* malloc(std::size_t size) {
+  if (t_depth != 0) return __libc_malloc(size);
+  DepthGuard guard;
+  try {
+    return heap().malloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void free(void* p) {
+  if (p == nullptr) return;
+  if (t_depth != 0) {
+    __libc_free(p);
+    return;
+  }
+  DepthGuard guard;
+  if (!is_guarded(p)) {
+    __libc_free(p);  // pre-interposition or internal allocation
+    return;
+  }
+  heap().free(p);
+}
+
+void* calloc(std::size_t count, std::size_t size) {
+  if (t_depth != 0) return __libc_calloc(count, size);
+  DepthGuard guard;
+  try {
+    return heap().calloc(count, size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* realloc(void* p, std::size_t size) {
+  if (t_depth != 0) return __libc_realloc(p, size);
+  DepthGuard guard;
+  if (p != nullptr && !is_guarded(p)) return __libc_realloc(p, size);
+  try {
+    return heap().realloc(p, size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+// Alignment-constrained entry points fall through (see header comment).
+void* memalign(std::size_t alignment, std::size_t size) {
+  return __libc_memalign(alignment, size);
+}
+
+void* aligned_alloc(std::size_t alignment, std::size_t size) {
+  return __libc_memalign(alignment, size);
+}
+
+int posix_memalign(void** out, std::size_t alignment, std::size_t size) {
+  void* p = __libc_memalign(alignment, size);
+  if (p == nullptr) return 12;  // ENOMEM
+  *out = p;
+  return 0;
+}
+
+}  // extern "C"

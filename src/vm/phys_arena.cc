@@ -1,0 +1,126 @@
+#include "vm/phys_arena.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+#include "vm/vm_stats.h"
+
+namespace dpg::vm {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+int make_memfd() {
+  int fd = static_cast<int>(memfd_create("dpguard-arena", MFD_CLOEXEC));
+  if (fd < 0) throw_errno("memfd_create");
+  return fd;
+}
+
+}  // namespace
+
+SyscallCounters& syscall_counters() noexcept {
+  static SyscallCounters counters;
+  return counters;
+}
+
+PhysArena::PhysArena(std::size_t va_window)
+    : fd_(make_memfd()), window_(page_up(va_window)) {
+  if (sysconf(_SC_PAGESIZE) != static_cast<long>(kPageSize)) {
+    throw std::runtime_error("dpguard assumes 4 KiB pages");
+  }
+  // Map the whole canonical window up front. Pages beyond the current file
+  // length SIGBUS if touched, which is fine: extend() grows the file before
+  // handing out addresses. A single large mapping keeps offset_of() trivial.
+  void* base = mmap(nullptr, window_, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+  syscall_counters().mmap.fetch_add(1, std::memory_order_relaxed);
+  if (base == MAP_FAILED) {
+    close(fd_);
+    throw_errno("mmap canonical window");
+  }
+  canon_base_ = static_cast<std::byte*>(base);
+}
+
+PhysArena::~PhysArena() {
+  if (canon_base_ != nullptr) {
+    munmap(canon_base_, window_);
+    syscall_counters().munmap.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (fd_ >= 0) close(fd_);
+}
+
+void* PhysArena::extend(std::size_t bytes) {
+  const std::size_t grow = page_up(bytes);
+  std::lock_guard lock(mu_);
+  if (length_ + grow > window_) throw std::bad_alloc{};
+  if (ftruncate(fd_, static_cast<off_t>(length_ + grow)) != 0) {
+    throw_errno("ftruncate arena");
+  }
+  syscall_counters().ftruncate.fetch_add(1, std::memory_order_relaxed);
+  void* extent = canon_base_ + length_;
+  length_ += grow;
+  return extent;
+}
+
+std::size_t PhysArena::physical_bytes() const noexcept {
+  std::lock_guard lock(mu_);
+  return length_;
+}
+
+bool PhysArena::contains_canonical(const void* p) const noexcept {
+  const auto a = addr(p);
+  const auto base = addr(canon_base_);
+  return a >= base && a < base + window_;
+}
+
+std::size_t PhysArena::offset_of(const void* p) const noexcept {
+  return static_cast<std::size_t>(addr(p) - addr(canon_base_));
+}
+
+void* PhysArena::map_shadow(const void* canonical_page, std::size_t len,
+                            void* fixed) {
+  const std::size_t span = page_up(len);
+  const std::size_t offset = offset_of(canonical_page);
+  int flags = MAP_SHARED;
+  if (fixed != nullptr) flags |= MAP_FIXED;
+  void* shadow = mmap(fixed, span, PROT_READ | PROT_WRITE, flags, fd_,
+                      static_cast<off_t>(offset));
+  syscall_counters().mmap.fetch_add(1, std::memory_order_relaxed);
+  if (shadow == MAP_FAILED) throw std::bad_alloc{};
+  return shadow;
+}
+
+void PhysArena::unmap(void* p, std::size_t len) noexcept {
+  munmap(p, page_up(len));
+  syscall_counters().munmap.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PhysArena::protect_none(void* p, std::size_t len) {
+  if (mprotect(p, page_up(len), PROT_NONE) != 0) throw_errno("mprotect NONE");
+  syscall_counters().mprotect.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PhysArena::protect_rw(void* p, std::size_t len) {
+  if (mprotect(p, page_up(len), PROT_READ | PROT_WRITE) != 0) {
+    throw_errno("mprotect RW");
+  }
+  syscall_counters().mprotect.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PhysArena::map_guard(void* fixed, std::size_t len) {
+  void* p = mmap(fixed, page_up(len), PROT_NONE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
+  syscall_counters().mmap.fetch_add(1, std::memory_order_relaxed);
+  if (p == MAP_FAILED) throw std::bad_alloc{};
+}
+
+}  // namespace dpg::vm

@@ -1,0 +1,93 @@
+// PhysArena — the physical-memory substrate behind page aliasing.
+//
+// The paper's Insight 1: "Mapping multiple virtual pages to the same physical
+// page enables us to set the permissions on each individual virtual page
+// separately while still allowing use and reuse of the entire physical page
+// via different virtual pages."
+//
+// The arena owns an anonymous in-memory file (memfd). The *canonical* view is
+// one large MAP_SHARED mapping of that file: this is the heap the underlying
+// allocator manages, and its length is exactly the program's physical memory
+// consumption. A *shadow* view of any canonical page is just another
+// MAP_SHARED mapping of the same file offset — two virtual pages, one
+// physical page. Protecting the shadow page (PROT_NONE on free) does not
+// affect the canonical page, so the allocator can keep recycling the
+// physical memory while every dangling pointer through the shadow address
+// traps.
+//
+// The paper used Linux's (then undocumented) mremap(old_size = 0) to create
+// the alias and noted that "on systems where this feature is not available,
+// we can use mmap with an in-memory file system". memfd_create is the modern
+// in-memory file system, so this is the primary strategy; shadow_map.h also
+// provides the mremap flavour for comparison benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "vm/page.h"
+
+namespace dpg::vm {
+
+class PhysArena {
+ public:
+  // Reserves `va_window` bytes of canonical virtual address space up front
+  // (no physical commitment). The canonical heap can grow up to this bound.
+  explicit PhysArena(std::size_t va_window = kDefaultWindow);
+  ~PhysArena();
+
+  PhysArena(const PhysArena&) = delete;
+  PhysArena& operator=(const PhysArena&) = delete;
+
+  // Grows the canonical heap by `bytes` (rounded up to whole pages) and
+  // returns the canonical address of the new extent. Throws std::bad_alloc
+  // when the VA window or the system is exhausted.
+  [[nodiscard]] void* extend(std::size_t bytes);
+
+  // Physical memory consumed by the heap: the memfd length. This is the
+  // number the paper claims stays (nearly) identical to the original program.
+  [[nodiscard]] std::size_t physical_bytes() const noexcept;
+
+  // True iff `p` lies inside the canonical view (mapped or reserved).
+  [[nodiscard]] bool contains_canonical(const void* p) const noexcept;
+
+  // File offset backing canonical address `p`. Precondition: contains_canonical(p).
+  [[nodiscard]] std::size_t offset_of(const void* p) const noexcept;
+
+  // Creates a shadow alias of the canonical pages covering
+  // [canonical_page, canonical_page + len). `canonical_page` must be
+  // page-aligned; len is rounded up to whole pages.
+  //
+  // If `fixed` is non-null the alias is placed exactly there with MAP_FIXED,
+  // atomically replacing whatever mapping previously occupied the range —
+  // this is how virtual pages recycled through the VA free-list are reused
+  // without an munmap per object (Section 3.3).
+  [[nodiscard]] void* map_shadow(const void* canonical_page, std::size_t len,
+                                 void* fixed = nullptr);
+
+  // Unmaps a shadow range (used at arena teardown and by explicit release).
+  void unmap(void* p, std::size_t len) noexcept;
+
+  // Page-protection primitives used on shadow pages at free / reuse.
+  static void protect_none(void* p, std::size_t len);
+  static void protect_rw(void* p, std::size_t len);
+
+  // Places an anonymous PROT_NONE page exactly at `fixed` (used for trailing
+  // guard pages: it must NOT alias the arena, so a stray access can never
+  // reach a neighbour's physical memory).
+  static void map_guard(void* fixed, std::size_t len);
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  static constexpr std::size_t kDefaultWindow = std::size_t{1} << 33;  // 8 GiB
+
+ private:
+  int fd_ = -1;
+  std::byte* canon_base_ = nullptr;
+  std::size_t window_ = 0;            // reserved canonical VA
+  std::size_t length_ = 0;            // current file length (== mapped heap)
+  mutable std::mutex mu_;
+};
+
+}  // namespace dpg::vm

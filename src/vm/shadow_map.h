@@ -1,0 +1,49 @@
+// ShadowMapper — strategy object that creates the per-allocation shadow alias.
+//
+// Two interchangeable mechanisms produce "a fresh virtual page mapped to the
+// same physical page" (paper Section 3.2):
+//
+//   kMemfd  — mmap() a second MAP_SHARED view of the arena's memfd at the
+//             canonical offset (the paper's "mmap with an in-memory file
+//             system" fallback; the default here).
+//   kMremap — mremap(old_address, 0, len, MREMAP_MAYMOVE): duplicating a
+//             shared mapping by remapping zero bytes, the paper's primary
+//             (then-undocumented) Linux trick. Still works on modern kernels
+//             for MAP_SHARED mappings; probed at startup.
+//
+// Both yield identical semantics; bench_micro compares their costs.
+#pragma once
+
+#include <cstddef>
+
+#include "vm/phys_arena.h"
+
+namespace dpg::vm {
+
+enum class AliasStrategy {
+  kMemfd,
+  kMremap,
+  kAuto,  // kMremap when the kernel supports it, else kMemfd
+};
+
+class ShadowMapper {
+ public:
+  explicit ShadowMapper(PhysArena& arena,
+                        AliasStrategy strategy = AliasStrategy::kMemfd);
+
+  // Aliases the canonical pages spanning [canonical_page, +len) at a fresh
+  // virtual address, or exactly at `fixed` (MAP_FIXED reuse path).
+  [[nodiscard]] void* alias(const void* canonical_page, std::size_t len,
+                            void* fixed = nullptr);
+
+  [[nodiscard]] AliasStrategy strategy() const noexcept { return strategy_; }
+
+  // True iff mremap(old_size=0) duplication works on this kernel.
+  [[nodiscard]] static bool mremap_alias_supported();
+
+ private:
+  PhysArena& arena_;
+  AliasStrategy strategy_;
+};
+
+}  // namespace dpg::vm

@@ -1,0 +1,57 @@
+#include "vm/va_freelist.h"
+
+#include <cassert>
+
+namespace dpg::vm {
+
+void VaFreeList::put(PageRange range) {
+  assert(page_offset(range.base) == 0);
+  assert(range.length % kPageSize == 0);
+  if (range.length == 0) return;
+  std::lock_guard lock(mu_);
+  buckets_[range.pages()].push_back(range.base);
+  bytes_ += range.length;
+}
+
+std::optional<PageRange> VaFreeList::take(std::size_t len) {
+  const std::size_t want = page_up(len);
+  const std::size_t want_pages = want / kPageSize;
+  std::lock_guard lock(mu_);
+  // Exact-size bucket first (the common case: uniform shadow pages).
+  if (auto it = buckets_.find(want_pages);
+      it != buckets_.end() && !it->second.empty()) {
+    const std::uintptr_t base = it->second.back();
+    it->second.pop_back();
+    if (it->second.empty()) buckets_.erase(it);
+    bytes_ -= want;
+    return PageRange{base, want};
+  }
+  // Otherwise split the smallest strictly-larger range.
+  auto it = buckets_.upper_bound(want_pages);
+  while (it != buckets_.end() && it->second.empty()) ++it;
+  if (it == buckets_.end()) return std::nullopt;
+  const std::size_t donor_pages = it->first;
+  const std::uintptr_t base = it->second.back();
+  it->second.pop_back();
+  if (it->second.empty()) buckets_.erase(it);
+  const std::size_t rest_pages = donor_pages - want_pages;
+  if (rest_pages > 0) {
+    buckets_[rest_pages].push_back(base + want);
+  }
+  bytes_ -= want;
+  return PageRange{base, want};
+}
+
+std::size_t VaFreeList::bytes() const {
+  std::lock_guard lock(mu_);
+  return bytes_;
+}
+
+std::size_t VaFreeList::ranges() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [pages, addrs] : buckets_) n += addrs.size();
+  return n;
+}
+
+}  // namespace dpg::vm

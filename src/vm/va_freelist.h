@@ -1,0 +1,68 @@
+// VaFreeList — the shared free list of recyclable virtual pages (Section 3.3).
+//
+// "We avoid the explicit munmap calls by maintaining a free list of virtual
+//  pages shared across pools and adding all pool pages to this free list at a
+//  pool destroy."
+//
+// Ranges pushed here remain *mapped* (shadow pages stay PROT_NONE, canonical
+// pages stay RW); a consumer takes an address and mmap(MAP_FIXED)s a new
+// mapping directly over it, which atomically replaces the old one — no
+// munmap per object ever happens on the hot path.
+//
+// Ranges are bucketed by page count. take() prefers an exact bucket and
+// otherwise splits the smallest larger range, returning the remainder to the
+// list. No coalescing is attempted: pool pages re-enter the list in the same
+// granularity they leave it, so fragmentation is bounded in practice (the
+// property tests exercise this).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "vm/page.h"
+
+namespace dpg::vm {
+
+class VaFreeList {
+ public:
+  // Donates a mapped, page-aligned range for future reuse.
+  void put(PageRange range);
+
+  // Takes a range of at least `len` bytes (rounded to pages); returns exactly
+  // page_up(len) bytes, splitting a larger donor if needed.
+  [[nodiscard]] std::optional<PageRange> take(std::size_t len);
+
+  // Total recyclable bytes currently held.
+  [[nodiscard]] std::size_t bytes() const;
+
+  // Number of ranges held (diagnostics).
+  [[nodiscard]] std::size_t ranges() const;
+
+  // Drains every held range, invoking `release(range)` on each (used at
+  // teardown to hand the addresses back to the kernel).
+  template <typename Fn>
+  void drain(Fn&& release) {
+    std::vector<PageRange> all;
+    {
+      std::lock_guard lock(mu_);
+      for (auto& [pages, addrs] : buckets_) {
+        for (std::uintptr_t a : addrs) {
+          all.push_back(PageRange{a, pages * kPageSize});
+        }
+      }
+      buckets_.clear();
+      bytes_ = 0;
+    }
+    for (const PageRange& r : all) release(r);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::size_t, std::vector<std::uintptr_t>> buckets_;  // pages -> bases
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace dpg::vm

@@ -1,0 +1,40 @@
+// Process-wide counters for the memory-management syscalls dpguard issues.
+//
+// Table 1 / Table 3 of the paper break total overhead into a system-call
+// component and a TLB component; the "PA + dummy syscalls" column isolates
+// the former. These counters let the bench harness report exactly how many
+// mmap/mprotect/mremap calls each configuration performed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dpg::vm {
+
+struct SyscallCounters {
+  std::atomic<std::uint64_t> mmap{0};
+  std::atomic<std::uint64_t> munmap{0};
+  std::atomic<std::uint64_t> mprotect{0};
+  std::atomic<std::uint64_t> mremap{0};
+  std::atomic<std::uint64_t> ftruncate{0};
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return mmap.load(std::memory_order_relaxed) +
+           munmap.load(std::memory_order_relaxed) +
+           mprotect.load(std::memory_order_relaxed) +
+           mremap.load(std::memory_order_relaxed) +
+           ftruncate.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    mmap = 0;
+    munmap = 0;
+    mprotect = 0;
+    mremap = 0;
+    ftruncate = 0;
+  }
+};
+
+// Single process-wide instance; cheap relaxed increments on the alloc path.
+SyscallCounters& syscall_counters() noexcept;
+
+}  // namespace dpg::vm

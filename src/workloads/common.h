@@ -1,0 +1,103 @@
+// Shared workload infrastructure.
+//
+// Every workload is a class template over an allocation/access Policy
+// (src/baseline/policies.h) and returns a checksum, so tests can assert that
+// all policies execute identical computation and benches can validate runs.
+//
+// Conventions the workloads follow (so every policy is used correctly):
+//   - pointer fields and handles use P::ptr<T>;
+//   - objects are trivially destructible; dispose() frees without dtors;
+//   - frees happen while the allocating P::Scope is still the innermost one
+//     (the pool policies free into the active pool, as the real transformed
+//     programs free into the owning pool);
+//   - "global" allocations (state outliving every scope) use make_global.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace dpg::workloads {
+
+// Deterministic xorshift64* RNG: workloads must behave identically across
+// policies and runs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : state_(seed != 0 ? seed : 1) {}
+
+  std::uint64_t next() noexcept {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+  // Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+  double unit() noexcept {  // [0, 1)
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// FNV-1a accumulation for checksums.
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v;
+  return h * 0x100000001B3ull;
+}
+
+// make_global<T> fallback: policies without an explicit global-allocation
+// path use the ordinary make.
+template <typename P, typename T, typename... Args>
+auto make_global(Args&&... args) {
+  if constexpr (requires { P::template make_outside_scope<T>(args...); }) {
+    return P::template make_outside_scope<T>(std::forward<Args>(args)...);
+  } else {
+    return P::template make<T>(std::forward<Args>(args)...);
+  }
+}
+
+template <typename P, typename Ptr>
+void dispose_global(Ptr p) {
+  if constexpr (requires { P::dispose_outside_scope(p); }) {
+    P::dispose_outside_scope(p);
+  } else {
+    P::dispose(p);
+  }
+}
+
+// Bulk copy into a policy buffer. MMU-based policies (raw pointers) use
+// memcpy like real code would — per-access cost is zero, and memcpy is
+// robust against 4K-aliasing between source and destination. Checked-pointer
+// policies copy element-wise so every store pays their per-access check,
+// which is precisely their cost model.
+template <typename Ptr>
+void policy_copy(Ptr dst, const char* src, std::size_t n) {
+  if constexpr (std::is_pointer_v<Ptr>) {
+    std::memcpy(dst, src, n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+  }
+}
+
+// Stand-in for the per-connection fork/exec + socket work of the paper's
+// fork-per-connection servers: the measured response times there include
+// process creation and kernel I/O, which dwarf a handful of syscalls. We
+// model it as a deterministic pass over a "process image" (touch + checksum)
+// — identical under every policy, so it shifts ratios, not correctness.
+inline std::uint64_t simulate_process_spawn(std::uint64_t salt = 0) {
+  constexpr std::size_t kImageBytes = 2 * 1024 * 1024;
+  static std::uint64_t image[kImageBytes / 8];
+  std::uint64_t h = 0x9E3779B97F4A7C15ull ^ salt;
+  for (std::size_t i = 0; i < kImageBytes / 8; ++i) {
+    image[i] ^= h;
+    h = mix(h, image[i]);
+  }
+  return h;
+}
+
+}  // namespace dpg::workloads

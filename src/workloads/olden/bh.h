@@ -1,0 +1,216 @@
+// Olden bh: Barnes–Hut hierarchical N-body simulation. Every time step
+// rebuilds the octree from scratch (allocation churn), computes centres of
+// mass bottom-up, then traverses the tree per body with the opening-angle
+// criterion to accumulate forces. The largest and most pointer-intensive
+// Olden benchmark.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::olden {
+
+template <typename P>
+class Bh {
+ public:
+  static constexpr const char* kName = "bh";
+
+  struct Params {
+    int bodies = 256;
+    int steps = 4;
+  };
+
+  static std::uint64_t run(const Params& params) {
+    typename P::Scope scope(sizeof(Cell));
+    Rng rng(0xB4);
+    const std::size_t n = static_cast<std::size_t>(params.bodies);
+
+    BodyArray bodies = P::template alloc_array<Body>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Body b{};
+      b.mass = 1.0 + rng.unit();
+      for (int d = 0; d < 3; ++d) {
+        b.pos[d] = rng.unit();
+        b.vel[d] = (rng.unit() - 0.5) * 0.1;
+      }
+      bodies[i] = b;
+    }
+
+    for (int step = 0; step < params.steps; ++step) {
+      // Build the octree over the unit cube (expanded to hold strays).
+      CellPtr root = P::template make<Cell>();
+      root->half = 2.0;
+      root->center[0] = root->center[1] = root->center[2] = 0.5;
+      for (std::size_t i = 0; i < n; ++i) insert(root, bodies, i);
+      summarize(root, bodies);
+
+      // Forces + leapfrog update.
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc[3] = {0, 0, 0};
+        gravity(root, bodies, i, acc);
+        Body& b = bodies[i];
+        for (int d = 0; d < 3; ++d) {
+          b.vel[d] += acc[d] * kDt;
+          b.pos[d] += b.vel[d] * kDt;
+        }
+      }
+      tear_down(root);
+    }
+
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int d = 0; d < 3; ++d) {
+        checksum = mix(checksum,
+                       static_cast<std::uint64_t>(
+                           (bodies[i].pos[d] + 10.0) * 1e6));
+      }
+    }
+    P::dispose(bodies);
+    return checksum;
+  }
+
+ private:
+  static constexpr double kDt = 0.005;
+  static constexpr double kTheta = 0.6;  // opening angle
+  static constexpr double kSoft = 1e-4;  // softening
+
+  struct Body {
+    double mass = 0;
+    double pos[3] = {};
+    double vel[3] = {};
+  };
+  struct Cell;
+  using CellPtr = typename P::template ptr<Cell>;
+  using BodyArray = typename P::template ptr<Body>;
+  struct Cell {
+    double center[3] = {};
+    double half = 0;             // half-extent of the cube
+    double mass = 0;             // total mass (after summarize)
+    double com[3] = {};          // centre of mass
+    std::int64_t body = -1;      // leaf: index into bodies (-1 = none)
+    CellPtr child[8] = {};
+  };
+
+  static int octant(const Cell& c, const Body& b) {
+    int o = 0;
+    if (b.pos[0] >= c.center[0]) o |= 1;
+    if (b.pos[1] >= c.center[1]) o |= 2;
+    if (b.pos[2] >= c.center[2]) o |= 4;
+    return o;
+  }
+
+  static CellPtr make_child(const Cell& parent, int o) {
+    CellPtr c = P::template make<Cell>();
+    c->half = parent.half / 2;
+    for (int d = 0; d < 3; ++d) {
+      const bool hi = (o >> d) & 1;
+      c->center[d] = parent.center[d] + (hi ? c->half : -c->half);
+    }
+    return c;
+  }
+
+  static void insert(CellPtr cell, BodyArray bodies, std::size_t idx) {
+    for (;;) {
+      const bool has_children = cell->child[0] != nullptr ||
+                                cell->child[1] != nullptr ||
+                                cell->child[2] != nullptr ||
+                                cell->child[3] != nullptr ||
+                                cell->child[4] != nullptr ||
+                                cell->child[5] != nullptr ||
+                                cell->child[6] != nullptr ||
+                                cell->child[7] != nullptr;
+      if (!has_children && cell->body < 0) {
+        cell->body = static_cast<std::int64_t>(idx);
+        return;
+      }
+      if (!has_children) {
+        // Split: push the resident body down one level.
+        const std::size_t resident = static_cast<std::size_t>(cell->body);
+        cell->body = -1;
+        if (cell->half < 1e-9) {
+          // Degenerate co-located bodies: keep the newcomer here.
+          cell->body = static_cast<std::int64_t>(idx);
+          return;
+        }
+        const int ro = octant(*cell, bodies[resident]);
+        cell->child[ro] = make_child(*cell, ro);
+        cell->child[ro]->body = static_cast<std::int64_t>(resident);
+      }
+      const int o = octant(*cell, bodies[idx]);
+      if (cell->child[o] == nullptr) cell->child[o] = make_child(*cell, o);
+      cell = cell->child[o];
+    }
+  }
+
+  static void summarize(CellPtr cell, BodyArray bodies) {
+    double m = 0;
+    double com[3] = {0, 0, 0};
+    if (cell->body >= 0) {
+      const Body& b = bodies[static_cast<std::size_t>(cell->body)];
+      m = b.mass;
+      for (int d = 0; d < 3; ++d) com[d] = b.pos[d] * b.mass;
+    }
+    for (int c = 0; c < 8; ++c) {
+      if (cell->child[c] == nullptr) continue;
+      summarize(cell->child[c], bodies);
+      m += cell->child[c]->mass;
+      for (int d = 0; d < 3; ++d) {
+        com[d] += cell->child[c]->com[d] * cell->child[c]->mass;
+      }
+    }
+    cell->mass = m;
+    for (int d = 0; d < 3; ++d) cell->com[d] = m > 0 ? com[d] / m : 0;
+  }
+
+  static void gravity(CellPtr cell, BodyArray bodies, std::size_t idx,
+                      double* acc) {
+    const Body& b = bodies[idx];
+    if (cell->mass <= 0) return;
+    // Opening test: s/d < theta -> treat as a point mass.
+    double dr2 = kSoft;
+    for (int d = 0; d < 3; ++d) {
+      const double dd = cell->com[d] - b.pos[d];
+      dr2 += dd * dd;
+    }
+    const double s = 2 * cell->half;
+    const bool is_leaf_body = cell->body >= 0;
+    if (is_leaf_body) {
+      if (static_cast<std::size_t>(cell->body) != idx) {
+        point_force(cell->com, cell->mass, b, dr2, acc);
+      }
+      // fall through to children (a split cell may hold body + children is
+      // impossible here: body >= 0 implies no children by construction)
+      return;
+    }
+    if (s * s < kTheta * kTheta * dr2) {
+      point_force(cell->com, cell->mass, b, dr2, acc);
+      return;
+    }
+    for (int c = 0; c < 8; ++c) {
+      if (cell->child[c] != nullptr) gravity(cell->child[c], bodies, idx, acc);
+    }
+  }
+
+  static void point_force(const double* from, double mass, const Body& b,
+                          double d2, double* acc) {
+    // acc += mass * dr / d^3, with 1/sqrt via Newton (double precision).
+    double y = 1.0 / d2;  // seed for 1/sqrt(d2): iterate y = y(1.5 - 0.5 d2 y^2)
+    // Normalize the seed into convergence range.
+    while (d2 * y * y > 4.0) y *= 0.5;
+    while (d2 * y * y < 0.25) y *= 2.0;
+    for (int i = 0; i < 30; ++i) y = y * (1.5 - 0.5 * d2 * y * y);
+    const double inv3 = y * y * y;
+    for (int d = 0; d < 3; ++d) {
+      acc[d] += mass * (from[d] - b.pos[d]) * inv3;
+    }
+  }
+
+  static void tear_down(CellPtr cell) {
+    if (cell == nullptr) return;
+    for (int c = 0; c < 8; ++c) tear_down(cell->child[c]);
+    P::dispose(cell);
+  }
+};
+
+}  // namespace dpg::workloads::olden

@@ -1,0 +1,113 @@
+// Olden em3d: electromagnetic wave propagation on a bipartite graph.
+// E-nodes depend on H-nodes and vice versa; each iteration updates every
+// node's value from its dependencies. Allocation up front (nodes + per-node
+// dependency arrays), then pure pointer-chasing compute.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::olden {
+
+template <typename P>
+class Em3d {
+ public:
+  static constexpr const char* kName = "em3d";
+
+  struct Params {
+    int nodes_per_side = 256;
+    int degree = 8;
+    int iterations = 6000;
+  };
+
+  static std::uint64_t run(const Params& params) {
+    typename P::Scope scope(sizeof(Node));
+    Rng rng(0xE3D);
+
+    NodePtr e_list = build_side(params, rng);
+    NodePtr h_list = build_side(params, rng);
+    wire(e_list, h_list, params, rng);
+    wire(h_list, e_list, params, rng);
+
+    for (int it = 0; it < params.iterations; ++it) {
+      compute(e_list, params.degree);
+      compute(h_list, params.degree);
+    }
+
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    for (NodePtr n = e_list; n != nullptr; n = n->next) {
+      checksum = mix(checksum, n->value);
+    }
+    tear_down(e_list, params.degree);
+    tear_down(h_list, params.degree);
+    return checksum;
+  }
+
+ private:
+  struct Node;
+  using NodePtr = typename P::template ptr<Node>;
+  using NodePtrArray = typename P::template ptr<NodePtr>;
+  using CoeffArray = typename P::template ptr<std::uint64_t>;
+  struct Node {
+    std::uint64_t value = 0;
+    NodePtr next{};
+    NodePtrArray from{};   // dependency nodes (degree entries)
+    CoeffArray coeffs{};   // per-dependency coefficients
+  };
+
+  static NodePtr build_side(const Params& params, Rng& rng) {
+    NodePtr head{};
+    for (int i = 0; i < params.nodes_per_side; ++i) {
+      NodePtr node = P::template make<Node>();
+      node->value = rng.next() % 1000;
+      node->next = head;
+      head = node;
+    }
+    return head;
+  }
+
+  static void wire(NodePtr side, NodePtr other, const Params& params, Rng& rng) {
+    // Collect the other side into a temporary table for random wiring.
+    const std::size_t n = static_cast<std::size_t>(params.nodes_per_side);
+    NodePtrArray table = P::template alloc_array<NodePtr>(n);
+    std::size_t count = 0;
+    for (NodePtr it = other; it != nullptr; it = it->next) table[count++] = it;
+
+    for (NodePtr node = side; node != nullptr; node = node->next) {
+      node->from = P::template alloc_array<NodePtr>(
+          static_cast<std::size_t>(params.degree));
+      node->coeffs = P::template alloc_array<std::uint64_t>(
+          static_cast<std::size_t>(params.degree));
+      for (int d = 0; d < params.degree; ++d) {
+        node->from[static_cast<std::size_t>(d)] = table[rng.below(count)];
+        node->coeffs[static_cast<std::size_t>(d)] = 1 + rng.below(7);
+      }
+    }
+    P::dispose(table);
+  }
+
+  static void compute(NodePtr side, int degree) {
+    for (NodePtr node = side; node != nullptr; node = node->next) {
+      std::uint64_t v = node->value;
+      for (int d = 0; d < degree; ++d) {
+        v -= node->coeffs[static_cast<std::size_t>(d)] *
+             node->from[static_cast<std::size_t>(d)]->value;
+      }
+      node->value = v;
+    }
+  }
+
+  static void tear_down(NodePtr head, int degree) {
+    (void)degree;
+    while (head != nullptr) {
+      NodePtr next = head->next;
+      P::dispose(head->from);
+      P::dispose(head->coeffs);
+      P::dispose(head);
+      head = next;
+    }
+  }
+};
+
+}  // namespace dpg::workloads::olden

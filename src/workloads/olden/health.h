@@ -1,0 +1,197 @@
+// Olden health: Colombian health-care simulation. A 4-ary tree of villages;
+// every time step each village generates patients (malloc), treats some,
+// and transfers the rest up the hierarchy through waiting lists (list-cell
+// malloc/free churn). The highest allocation *rate* of the suite — a
+// worst-case for syscall-per-allocation schemes, as Table 3 shows.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::olden {
+
+template <typename P>
+class Health {
+ public:
+  static constexpr const char* kName = "health";
+
+  struct Params {
+    int levels = 5;      // 4-ary village tree depth
+    int time_steps = 60;
+    int seed = 0x0EA17;
+  };
+
+  static std::uint64_t run(const Params& params) {
+    typename P::Scope scope(sizeof(Patient));
+    Rng rng(static_cast<std::uint64_t>(params.seed));
+    VillagePtr top = build(params.levels, 1, rng);
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    for (int t = 0; t < params.time_steps; ++t) {
+      sim(top, rng);
+    }
+    checksum = mix(checksum, stats_hash(top));
+    tear_down(top);
+    return checksum;
+  }
+
+ private:
+  struct Patient;
+  struct ListCell;
+  struct Village;
+  using PatientPtr = typename P::template ptr<Patient>;
+  using CellPtr = typename P::template ptr<ListCell>;
+  using VillagePtr = typename P::template ptr<Village>;
+  using HistBuf = typename P::template ptr<std::uint64_t>;
+
+  struct Patient {
+    std::uint64_t id = 0;
+    std::uint64_t hosps_visited = 0;
+    std::uint64_t time_waited = 0;
+    std::uint64_t remaining = 0;  // treatment time left
+  };
+  struct ListCell {
+    PatientPtr patient{};
+    CellPtr next{};
+  };
+  struct Village {
+    VillagePtr child[4] = {};
+    CellPtr waiting{};    // waiting for a free slot
+    CellPtr assess{};     // under treatment
+    HistBuf history{};    // per-step epidemiological records
+    std::uint64_t free_personnel = 0;
+    std::uint64_t label = 0;
+    std::uint64_t treated = 0;
+    std::uint64_t escalated = 0;
+    std::uint64_t hist_hash = 0;
+  };
+  static constexpr std::size_t kHistory = 1024;
+
+  static VillagePtr build(int level, std::uint64_t label, Rng& rng) {
+    if (level == 0) return VillagePtr{};
+    VillagePtr v = P::template make<Village>();
+    v->label = label;
+    v->free_personnel = 2 + rng.below(3);
+    v->history = P::template alloc_array<std::uint64_t>(kHistory);
+    for (std::size_t i = 0; i < kHistory; ++i) v->history[i] = label + i;
+    for (int c = 0; c < 4; ++c) {
+      v->child[c] = build(level - 1, label * 4 + static_cast<std::uint64_t>(c), rng);
+    }
+    return v;
+  }
+
+  static void push(CellPtr& list, PatientPtr p) {
+    CellPtr cell = P::template make<ListCell>();
+    cell->patient = p;
+    cell->next = list;
+    list = cell;
+  }
+
+  // Removes the head cell, returning its patient.
+  static PatientPtr pop(CellPtr& list) {
+    CellPtr cell = list;
+    PatientPtr p = cell->patient;
+    list = cell->next;
+    P::dispose(cell);
+    return p;
+  }
+
+  // One simulation step, bottom-up: leaves generate patients; patients whose
+  // treatment ends are freed; villages without capacity escalate patients to
+  // the parent's waiting list (returned via the out-list).
+  static CellPtr sim(VillagePtr v, Rng& rng) {
+    if (v == nullptr) return CellPtr{};
+
+    // Collect escalations from children into our waiting list.
+    for (int c = 0; c < 4; ++c) {
+      CellPtr up = sim(v->child[c], rng);
+      while (up != nullptr) {
+        CellPtr next = up->next;
+        up->next = v->waiting;
+        v->waiting = up;
+        up = next;
+      }
+    }
+
+    // Per-step bookkeeping: update and rescan the village's records (the
+    // statistics gathering the Olden original folds into each step).
+    std::uint64_t hh = v->hist_hash;
+    for (std::size_t i = 0; i < kHistory; ++i) hh = mix(hh, v->history[i]);
+    v->history[static_cast<std::size_t>(hh % kHistory)] = hh;
+    v->hist_hash = hh;
+
+    // Leaf villages generate new patients with some probability.
+    const bool is_leaf = v->child[0] == nullptr;
+    if (is_leaf && rng.below(100) < 65) {
+      PatientPtr p = P::template make<Patient>();
+      p->id = rng.next();
+      p->remaining = 1 + rng.below(4);
+      push(v->waiting, p);
+    }
+
+    // Treat: advance everyone in assessment; discharge finished patients.
+    CellPtr* link = &v->assess;
+    while (*link != nullptr) {
+      CellPtr cell = *link;
+      PatientPtr p = cell->patient;
+      if (--p->remaining == 0) {
+        *link = cell->next;
+        v->treated++;
+        v->free_personnel++;
+        P::dispose(cell);
+        P::dispose(p);
+      } else {
+        link = &cell->next;
+      }
+    }
+
+    // Admit from the waiting list while there is capacity; escalate ~30% of
+    // the remainder to the parent.
+    CellPtr escalate{};
+    while (v->waiting != nullptr) {
+      PatientPtr p = pop(v->waiting);
+      if (v->free_personnel > 0) {
+        v->free_personnel--;
+        p->hosps_visited++;
+        push(v->assess, p);
+      } else if (rng.below(100) < 30) {
+        p->time_waited++;
+        push(escalate, p);
+        v->escalated++;
+      } else {
+        p->time_waited++;
+        push(v->waiting, p);
+        break;  // keep the rest waiting this step
+      }
+    }
+    return escalate;
+  }
+
+  static std::uint64_t stats_hash(VillagePtr v) {
+    if (v == nullptr) return 0;
+    std::uint64_t h = mix(v->treated, v->escalated);
+    h = mix(h, v->hist_hash);
+    for (int c = 0; c < 4; ++c) h = mix(h, stats_hash(v->child[c]));
+    return h;
+  }
+
+  static void drain(CellPtr list) {
+    while (list != nullptr) {
+      CellPtr next = list->next;
+      P::dispose(list->patient);
+      P::dispose(list);
+      list = next;
+    }
+  }
+
+  static void tear_down(VillagePtr v) {
+    if (v == nullptr) return;
+    for (int c = 0; c < 4; ++c) tear_down(v->child[c]);
+    drain(v->waiting);
+    drain(v->assess);
+    P::dispose(v->history);
+    P::dispose(v);
+  }
+};
+
+}  // namespace dpg::workloads::olden

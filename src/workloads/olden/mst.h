@@ -1,0 +1,134 @@
+// Olden mst: minimum spanning tree over a dense random graph whose adjacency
+// is stored in per-vertex chained hash tables (Olden's signature structure).
+// Allocation: vertices + hash buckets + chain entries; computation: Prim's
+// "blue rule" sweeps doing hash lookups — pointer chasing galore.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::olden {
+
+template <typename P>
+class Mst {
+ public:
+  static constexpr const char* kName = "mst";
+
+  struct Params {
+    int vertices = 512;
+    int degree = 24;  // edges stored per vertex (plus a connecting ring)
+  };
+
+  static std::uint64_t run(const Params& params) {
+    typename P::Scope scope(sizeof(HashEntry));
+    Rng rng(0x357);
+    const std::size_t n = static_cast<std::size_t>(params.vertices);
+
+    VertexPtr vertices = P::template alloc_array<Vertex>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Vertex& v = vertices[i];
+      v = Vertex{};
+      v.buckets = P::template alloc_array<EntryPtr>(kBuckets);
+      for (std::size_t b = 0; b < kBuckets; ++b) v.buckets[b] = EntryPtr{};
+    }
+    // Ring edges guarantee connectivity; then random extra edges.
+    for (std::size_t i = 0; i < n; ++i) {
+      add_edge(vertices, i, (i + 1) % n, 1 + rng.below(1u << 16));
+      for (int d = 0; d < params.degree; ++d) {
+        const std::size_t j = rng.below(n);
+        if (j != i) add_edge(vertices, i, j, 1 + rng.below(1u << 16));
+      }
+    }
+
+    // Prim with the "blue rule": repeatedly add the cheapest fringe vertex.
+    std::uint64_t total = 0;
+    vertices[0].in_tree = 1;
+    for (std::size_t added = 1; added < n; ++added) {
+      relax(vertices, n);
+      std::size_t best = n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (vertices[i].in_tree == 0 && vertices[i].dist != kInf &&
+            (best == n || vertices[i].dist < vertices[best].dist)) {
+          best = i;
+        }
+      }
+      if (best == n) break;  // disconnected (cannot happen with the ring)
+      vertices[best].in_tree = 1;
+      total += vertices[best].dist;
+    }
+
+    std::uint64_t checksum = mix(0xcbf29ce484222325ull, total);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        EntryPtr e = vertices[i].buckets[b];
+        while (e != nullptr) {
+          EntryPtr next = e->next;
+          P::dispose(e);
+          e = next;
+        }
+      }
+      P::dispose(vertices[i].buckets);
+    }
+    P::dispose(vertices);
+    return checksum;
+  }
+
+ private:
+  static constexpr std::size_t kBuckets = 16;
+  static constexpr std::uint64_t kInf = ~std::uint64_t{0};
+
+  struct HashEntry;
+  using EntryPtr = typename P::template ptr<HashEntry>;
+  struct HashEntry {
+    std::uint64_t key = 0;  // destination vertex index
+    std::uint64_t weight = 0;
+    EntryPtr next{};
+  };
+  struct Vertex;
+  using VertexPtr = typename P::template ptr<Vertex>;
+  using BucketArray = typename P::template ptr<EntryPtr>;
+  struct Vertex {
+    BucketArray buckets{};
+    std::uint64_t dist = kInf;
+    std::uint64_t in_tree = 0;
+  };
+
+  static void add_edge(VertexPtr vertices, std::size_t from, std::size_t to,
+                       std::uint64_t weight) {
+    insert(vertices[from], to, weight);
+    insert(vertices[to], from, weight);
+  }
+
+  static void insert(Vertex& v, std::size_t key, std::uint64_t weight) {
+    const std::size_t b = key % kBuckets;
+    for (EntryPtr e = v.buckets[b]; e != nullptr; e = e->next) {
+      if (e->key == key) return;  // keep first weight
+    }
+    EntryPtr entry = P::template make<HashEntry>();
+    entry->key = key;
+    entry->weight = weight;
+    entry->next = v.buckets[b];
+    v.buckets[b] = entry;
+  }
+
+  // For every fringe vertex, recompute its cheapest edge into the tree by
+  // probing its hash table for tree members (the Olden access pattern).
+  static void relax(VertexPtr vertices, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Vertex& v = vertices[i];
+      if (v.in_tree != 0) continue;
+      std::uint64_t best = kInf;
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        for (EntryPtr e = v.buckets[b]; e != nullptr; e = e->next) {
+          if (vertices[e->key].in_tree != 0 && e->weight < best) {
+            best = e->weight;
+          }
+        }
+      }
+      v.dist = best;
+    }
+  }
+};
+
+}  // namespace dpg::workloads::olden

@@ -1,0 +1,139 @@
+// Olden perimeter: build a region quadtree over a synthetic binary image and
+// compute the perimeter of the black region. Allocation: adaptive quadtree
+// nodes; computation: recursive neighbor probes from the root per leaf edge.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::olden {
+
+template <typename P>
+class Perimeter {
+ public:
+  static constexpr const char* kName = "perimeter";
+
+  struct Params {
+    int depth = 9;     // image is 2^depth x 2^depth
+    int analyses = 40; // perimeter passes over the same tree
+  };
+
+  static std::uint64_t run(const Params& params) {
+    typename P::Scope scope(sizeof(Quad));
+    const std::uint64_t size = std::uint64_t{1} << params.depth;
+    QuadPtr root = build(0, 0, size, params.depth, size);
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    for (int a = 0; a < params.analyses; ++a) {
+      checksum = mix(checksum, walk(root, root, 0, 0, size, size));
+    }
+    tear_down(root);
+    return checksum;
+  }
+
+ private:
+  enum Color : std::uint64_t { kWhite = 0, kBlack = 1, kGrey = 2 };
+
+  struct Quad;
+  using QuadPtr = typename P::template ptr<Quad>;
+  struct Quad {
+    std::uint64_t color = kWhite;
+    QuadPtr child[4] = {};  // nw, ne, sw, se
+  };
+
+  // The image: a disc centred in the square (deterministic, scale-free).
+  static bool black_pixel(std::uint64_t x, std::uint64_t y, std::uint64_t size) {
+    const double cx = static_cast<double>(size) / 2.0;
+    const double r = static_cast<double>(size) * 0.37;
+    const double dx = static_cast<double>(x) + 0.5 - cx;
+    const double dy = static_cast<double>(y) + 0.5 - cx;
+    return dx * dx + dy * dy <= r * r;
+  }
+
+  // Is the cell uniformly black/white? Checked on the corners + centre first
+  // and resolved exactly at depth 0.
+  static QuadPtr build(std::uint64_t x, std::uint64_t y, std::uint64_t size,
+                       int depth, std::uint64_t image) {
+    QuadPtr q = P::template make<Quad>();
+    if (depth == 0 || uniform(x, y, size, image)) {
+      q->color = black_pixel(x + size / 2, y + size / 2, image) ? kBlack
+                                                                : kWhite;
+      return q;
+    }
+    q->color = kGrey;
+    const std::uint64_t h = size / 2;
+    q->child[0] = build(x, y, h, depth - 1, image);
+    q->child[1] = build(x + h, y, h, depth - 1, image);
+    q->child[2] = build(x, y + h, h, depth - 1, image);
+    q->child[3] = build(x + h, y + h, h, depth - 1, image);
+    return q;
+  }
+
+  static bool uniform(std::uint64_t x, std::uint64_t y, std::uint64_t size,
+                      std::uint64_t image) {
+    if (size <= 1) return true;
+    const bool first = black_pixel(x, y, image);
+    const std::uint64_t step = size > 8 ? size / 8 : 1;
+    for (std::uint64_t dy = 0; dy < size; dy += step) {
+      for (std::uint64_t dx = 0; dx < size; dx += step) {
+        if (black_pixel(x + dx, y + dy, image) != first) return false;
+      }
+    }
+    return true;
+  }
+
+  // Color of the image at (x, y) via quadtree descent — Olden's neighbor
+  // probes are tree navigations like this one.
+  static std::uint64_t color_at(QuadPtr root, std::uint64_t x, std::uint64_t y,
+                                std::uint64_t size) {
+    QuadPtr q = root;
+    std::uint64_t qx = 0;
+    std::uint64_t qy = 0;
+    std::uint64_t qsize = size;
+    while (q->color == kGrey) {
+      const std::uint64_t h = qsize / 2;
+      const bool east = x >= qx + h;
+      const bool south = y >= qy + h;
+      q = q->child[(south ? 2 : 0) + (east ? 1 : 0)];
+      if (east) qx += h;
+      if (south) qy += h;
+      qsize = h;
+    }
+    return q->color;
+  }
+
+  // Sums border contributions of every black leaf: an edge counts when the
+  // neighboring pixel row/column (or the image border) is white.
+  static std::uint64_t walk(QuadPtr root, QuadPtr q, std::uint64_t x,
+                            std::uint64_t y, std::uint64_t size,
+                            std::uint64_t image) {
+    if (q->color == kGrey) {
+      const std::uint64_t h = size / 2;
+      return walk(root, q->child[0], x, y, h, image) +
+             walk(root, q->child[1], x + h, y, h, image) +
+             walk(root, q->child[2], x, y + h, h, image) +
+             walk(root, q->child[3], x + h, y + h, h, image);
+    }
+    if (q->color == kWhite) return 0;
+    std::uint64_t edges = 0;
+    for (std::uint64_t i = 0; i < size; ++i) {
+      // north
+      if (y == 0 || color_at(root, x + i, y - 1, image) == kWhite) edges++;
+      // south
+      if (y + size >= image || color_at(root, x + i, y + size, image) == kWhite) edges++;
+      // west
+      if (x == 0 || color_at(root, x - 1, y + i, image) == kWhite) edges++;
+      // east
+      if (x + size >= image || color_at(root, x + size, y + i, image) == kWhite) edges++;
+    }
+    return edges;
+  }
+
+  static void tear_down(QuadPtr q) {
+    if (q == nullptr) return;
+    for (int c = 0; c < 4; ++c) tear_down(q->child[c]);
+    P::dispose(q);
+  }
+};
+
+}  // namespace dpg::workloads::olden

@@ -1,0 +1,139 @@
+// Olden power: power-system pricing optimization over a fixed four-level
+// tree (root -> feeders -> laterals -> branches -> leaves). Allocation is a
+// one-time tree build; computation is repeated two-phase sweeps (demands
+// flow up, prices flow down) to a fixed point — access-heavy, alloc-light,
+// the Olden member closest to "server-like" behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::olden {
+
+template <typename P>
+class Power {
+ public:
+  static constexpr const char* kName = "power";
+
+  struct Params {
+    int feeders = 8;
+    int laterals = 12;  // per feeder
+    int branches = 6;   // per lateral
+    int leaves = 8;     // per branch
+    int iterations = 3000;
+  };
+
+  static std::uint64_t run(const Params& params) {
+    typename P::Scope scope(sizeof(Branch));
+    Rng rng(0x70D3);
+
+    // Build: per-feeder lateral lists.
+    FeederArray feeder_heads =
+        P::template alloc_array<LateralPtr>(static_cast<std::size_t>(params.feeders));
+    for (int f = 0; f < params.feeders; ++f) {
+      LateralPtr head{};
+      for (int l = 0; l < params.laterals; ++l) {
+        LateralPtr lat = P::template make<Lateral>();
+        lat->next = head;
+        BranchPtr bhead{};
+        for (int b = 0; b < params.branches; ++b) {
+          BranchPtr br = P::template make<Branch>();
+          br->next = bhead;
+          br->leaves =
+              P::template alloc_array<Leaf>(static_cast<std::size_t>(params.leaves));
+          br->num_leaves = static_cast<std::uint64_t>(params.leaves);
+          for (int v = 0; v < params.leaves; ++v) {
+            br->leaves[static_cast<std::size_t>(v)] =
+                Leaf{1000 + rng.below(1000), 0};
+          }
+          bhead = br;
+        }
+        lat->branches = bhead;
+        head = lat;
+      }
+      feeder_heads[static_cast<std::size_t>(f)] = head;
+    }
+
+    // Optimize: demand up, price down, until the price drift settles.
+    std::uint64_t price = 10000;
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    for (int it = 0; it < params.iterations; ++it) {
+      std::uint64_t total_demand = 0;
+      for (int f = 0; f < params.feeders; ++f) {
+        total_demand +=
+            feeder_demand(feeder_heads[static_cast<std::size_t>(f)], price);
+      }
+      // Price adjusts toward a target load (damped integer dynamics).
+      const std::uint64_t target = 48ull * static_cast<std::uint64_t>(
+          params.feeders * params.laterals * params.branches * params.leaves);
+      if (total_demand > target) {
+        price += (total_demand - target) / 64 + 1;
+      } else if (price > (target - total_demand) / 64 + 1) {
+        price -= (target - total_demand) / 64 + 1;
+      }
+      checksum = mix(checksum, total_demand);
+    }
+    checksum = mix(checksum, price);
+
+    // Teardown.
+    for (int f = 0; f < params.feeders; ++f) {
+      LateralPtr lat = feeder_heads[static_cast<std::size_t>(f)];
+      while (lat != nullptr) {
+        LateralPtr lnext = lat->next;
+        BranchPtr br = lat->branches;
+        while (br != nullptr) {
+          BranchPtr bnext = br->next;
+          P::dispose(br->leaves);
+          P::dispose(br);
+          br = bnext;
+        }
+        P::dispose(lat);
+        lat = lnext;
+      }
+    }
+    P::dispose(feeder_heads);
+    return checksum;
+  }
+
+ private:
+  struct Leaf {
+    std::uint64_t base_demand = 0;
+    std::uint64_t drawn = 0;
+  };
+  struct Branch;
+  using BranchPtr = typename P::template ptr<Branch>;
+  using LeafArray = typename P::template ptr<Leaf>;
+  struct Branch {
+    LeafArray leaves{};
+    std::uint64_t num_leaves = 0;
+    BranchPtr next{};
+  };
+  struct Lateral;
+  using LateralPtr = typename P::template ptr<Lateral>;
+  struct Lateral {
+    BranchPtr branches{};
+    LateralPtr next{};
+  };
+  using FeederArray = typename P::template ptr<LateralPtr>;
+
+  // Demand each leaf draws is its base demand scaled down by price; sums
+  // propagate up branch -> lateral -> feeder.
+  static std::uint64_t feeder_demand(LateralPtr head, std::uint64_t price) {
+    std::uint64_t demand = 0;
+    for (LateralPtr lat = head; lat != nullptr; lat = lat->next) {
+      for (BranchPtr br = lat->branches; br != nullptr; br = br->next) {
+        std::uint64_t branch_demand = 0;
+        for (std::uint64_t v = 0; v < br->num_leaves; ++v) {
+          Leaf& leaf = br->leaves[static_cast<std::size_t>(v)];
+          leaf.drawn = leaf.base_demand * 100 / (100 + price / 128);
+          branch_demand += leaf.drawn;
+        }
+        demand += branch_demand;
+      }
+    }
+    return demand;
+  }
+};
+
+}  // namespace dpg::workloads::olden

@@ -1,0 +1,64 @@
+// Olden treeadd: build a complete binary tree, sum it recursively, tear it
+// down. The simplest allocation-intensive kernel: one malloc per node, one
+// free per node, pointer-chasing sums in between.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::olden {
+
+template <typename P>
+class TreeAdd {
+ public:
+  static constexpr const char* kName = "treeadd";
+
+  struct Params {
+    int levels = 15;  // 2^levels - 1 nodes (bounded by vm.max_map_count)
+    int passes = 2000;  // sum traversals per tree (stands in for Olden's much\n                       // larger tree, which vm.max_map_count disallows)
+  };
+
+  static std::uint64_t run(const Params& params) {
+    typename P::Scope scope(sizeof(Node));
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    NodePtr root = build(params.levels, 1);
+    for (int pass = 0; pass < params.passes; ++pass) {
+      checksum = mix(checksum, sum(root));
+    }
+    tear_down(root);
+    return checksum;
+  }
+
+ private:
+  struct Node;
+  using NodePtr = typename P::template ptr<Node>;
+  struct Node {
+    NodePtr left{};
+    NodePtr right{};
+    std::uint64_t value = 0;
+  };
+
+  static NodePtr build(int level, std::uint64_t value) {
+    if (level == 0) return NodePtr{};
+    NodePtr node = P::template make<Node>();
+    node->value = value;
+    node->left = build(level - 1, value * 2);
+    node->right = build(level - 1, value * 2 + 1);
+    return node;
+  }
+
+  static std::uint64_t sum(NodePtr node) {
+    if (node == nullptr) return 0;
+    return node->value + sum(node->left) + sum(node->right);
+  }
+
+  static void tear_down(NodePtr node) {
+    if (node == nullptr) return;
+    tear_down(node->left);
+    tear_down(node->right);
+    P::dispose(node);
+  }
+};
+
+}  // namespace dpg::workloads::olden

@@ -1,0 +1,167 @@
+// Olden tsp: closest-point-heuristic travelling salesman. Random cities are
+// organized into a balanced binary tree by recursive spatial partitioning;
+// tours are solved per subtree and merged bottom-up into a cyclic
+// doubly-linked list threaded through the same nodes (Olden's signature
+// trick: tree pointers and tour pointers share the node).
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::olden {
+
+template <typename P>
+class Tsp {
+ public:
+  static constexpr const char* kName = "tsp";
+
+  struct Params {
+    int cities = 1024;    // power of two keeps the tree balanced
+    int improve_rounds = 100;  // or-opt refinement passes over the tour
+  };
+
+  static std::uint64_t run(const Params& params) {
+    typename P::Scope scope(sizeof(City));
+    Rng rng(0x757);
+    CityPtr tree = build(params.cities, 0.0, 1.0, 0.0, 1.0, rng, true);
+    CityPtr tour = solve(tree);
+    for (int r = 0; r < params.improve_rounds; ++r) or_opt(tour);
+
+    // Tour length (scaled to integer) + node count as checksum.
+    std::uint64_t length_milli = 0;
+    std::uint64_t count = 0;
+    CityPtr c = tour;
+    do {
+      length_milli += static_cast<std::uint64_t>(dist(c, c->next) * 1000.0);
+      count++;
+      c = c->next;
+    } while (c != tour);
+
+    std::uint64_t checksum = mix(0xcbf29ce484222325ull, length_milli);
+    checksum = mix(checksum, count);
+    tear_down(tree);
+    return checksum;
+  }
+
+ private:
+  struct City;
+  using CityPtr = typename P::template ptr<City>;
+  struct City {
+    double x = 0;
+    double y = 0;
+    CityPtr left{};
+    CityPtr right{};
+    CityPtr next{};  // cyclic tour links
+    CityPtr prev{};
+  };
+
+  static double dist(CityPtr a, CityPtr b) {
+    const double dx = a->x - b->x;
+    const double dy = a->y - b->y;
+    // Squared-distance order is what the heuristic needs; take a cheap
+    // Newton sqrt for tour-length reporting stability.
+    const double d2 = dx * dx + dy * dy;
+    double r = d2 > 0 ? d2 : 0;
+    double guess = r > 1 ? r : 1;
+    for (int i = 0; i < 20; ++i) guess = 0.5 * (guess + r / guess);
+    return guess;
+  }
+
+  // Recursive spatial median build (splitting alternately in x and y).
+  static CityPtr build(int n, double x0, double x1, double y0, double y1,
+                       Rng& rng, bool split_x) {
+    if (n == 0) return CityPtr{};
+    CityPtr node = P::template make<City>();
+    if (split_x) {
+      const double mid = (x0 + x1) / 2;
+      node->x = mid;
+      node->y = y0 + rng.unit() * (y1 - y0);
+      node->left = build((n - 1) / 2, x0, mid, y0, y1, rng, false);
+      node->right = build(n - 1 - (n - 1) / 2, mid, x1, y0, y1, rng, false);
+    } else {
+      const double mid = (y0 + y1) / 2;
+      node->y = mid;
+      node->x = x0 + rng.unit() * (x1 - x0);
+      node->left = build((n - 1) / 2, x0, x1, y0, mid, rng, true);
+      node->right = build(n - 1 - (n - 1) / 2, x0, x1, mid, y1, rng, true);
+    }
+    return node;
+  }
+
+  // Returns some node on the cyclic tour covering the subtree.
+  static CityPtr solve(CityPtr tree) {
+    if (tree == nullptr) return CityPtr{};
+    CityPtr left = solve(tree->left);
+    CityPtr right = solve(tree->right);
+
+    // Self-loop for the root city.
+    tree->next = tree;
+    tree->prev = tree;
+    CityPtr tour = splice(left, tree);
+    tour = splice(tour, right);
+    return tour;
+  }
+
+  // Merges tour `b` into tour `a` at the cheapest insertion point found by a
+  // bounded scan (the closest-point flavour of the heuristic). Either may be
+  // null/empty.
+  static CityPtr splice(CityPtr a, CityPtr b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    // Find the edge (u, u->next) of `a` closest to b's head.
+    CityPtr best = a;
+    double best_cost = 1e308;
+    CityPtr u = a;
+    do {
+      const double cost = dist(u, b) + dist(b->prev, u->next) - dist(u, u->next);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = u;
+      }
+      u = u->next;
+    } while (u != a);
+
+    // Insert the whole cycle b between best and best->next.
+    CityPtr b_tail = b->prev;
+    CityPtr after = best->next;
+    best->next = b;
+    b->prev = best;
+    b_tail->next = after;
+    after->prev = b_tail;
+    return a;
+  }
+
+  // Or-opt: relocate single cities between their neighbours when it
+  // shortens the tour (the iterative-improvement phase of TSP heuristics).
+  static void or_opt(CityPtr tour) {
+    CityPtr c = tour;
+    do {
+      CityPtr a = c->prev;
+      CityPtr b = c->next;
+      CityPtr d = b->next;
+      // Cost of moving c between b and d.
+      const double now = dist(a, c) + dist(c, b) + dist(b, d);
+      const double then = dist(a, b) + dist(b, c) + dist(c, d);
+      if (then + 1e-12 < now) {
+        // unlink c; relink after b
+        a->next = b;
+        b->prev = a;
+        c->prev = b;
+        c->next = d;
+        b->next = c;
+        d->prev = c;
+      }
+      c = c->next;
+    } while (c != tour);
+  }
+
+  static void tear_down(CityPtr node) {
+    if (node == nullptr) return;
+    tear_down(node->left);
+    tear_down(node->right);
+    P::dispose(node);
+  }
+};
+
+}  // namespace dpg::workloads::olden

@@ -1,0 +1,110 @@
+// bsd-fingerd-like workload: tiny per-connection request (a username),
+// table lookup, formatted response. Few allocations, short connections —
+// the near-zero-overhead end of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::servers {
+
+template <typename P>
+class Fingerd {
+ public:
+  static constexpr const char* kName = "fingerd";
+
+  struct Params {
+    int connections = 500;
+    int users = 64;
+    std::size_t plan_bytes = 48 * 1024;  // each user's ~/.plan file
+  };
+
+  static std::uint64_t run(const Params& params) {
+    const std::vector<std::string> users = make_users(params.users);
+    const std::string plan = make_plan(params.plan_bytes);
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    Rng rng(0xF1);
+    for (int c = 0; c < params.connections; ++c) {
+      typename P::Scope connection;  // inetd forks fingerd per request
+      checksum = mix(checksum, simulate_process_spawn(rng.below(3)));
+      checksum = mix(checksum, finger(users, plan, rng));
+    }
+    return checksum;
+  }
+
+ private:
+  using CharBuf = typename P::template ptr<char>;
+
+  static std::vector<std::string> make_users(int n) {
+    std::vector<std::string> users;
+    Rng rng(0x05E2);
+    for (int i = 0; i < n; ++i) {
+      std::string name;
+      const std::size_t len = 4 + rng.below(8);
+      for (std::size_t k = 0; k < len; ++k) {
+        name.push_back(static_cast<char>('a' + rng.below(26)));
+      }
+      users.push_back(std::move(name));
+    }
+    return users;
+  }
+
+  static std::string make_plan(std::size_t bytes) {
+    std::string plan(bytes, '\0');
+    for (std::size_t i = 0; i < bytes; ++i) {
+      plan[i] = static_cast<char>(' ' + (i * 17) % 90);
+    }
+    return plan;
+  }
+
+  static std::uint64_t finger(const std::vector<std::string>& users,
+                              const std::string& plan, Rng& rng) {
+    // Read the query into a connection buffer.
+    const std::string& who = users[rng.below(users.size())];
+    CharBuf query = P::template alloc_array<char>(64);
+    for (std::size_t i = 0; i < who.size(); ++i) query[i] = who[i];
+    query[who.size()] = '\0';
+
+    // Linear scan of the user table (string accesses).
+    std::uint64_t h = 0;
+    for (const std::string& u : users) {
+      bool match = u.size() == who.size();
+      for (std::size_t i = 0; match && i < u.size(); ++i) {
+        match = u[i] == query[i];
+      }
+      if (match) {
+        // Format a .plan-style response.
+        CharBuf resp = P::template alloc_array<char>(256);
+        std::size_t out = 0;
+        const char header[] = "Login: ";
+        for (std::size_t i = 0; i + 1 < sizeof(header); ++i) {
+          resp[out++] = header[i];
+        }
+        for (std::size_t i = 0; i < u.size(); ++i) resp[out++] = u[i];
+        resp[out++] = '\n';
+        for (std::size_t i = 0; i < out; ++i) {
+          h = mix(h, static_cast<std::uint64_t>(resp[i]));
+        }
+        // Stream the user's ~/.plan through the response buffer.
+        std::size_t off = 0;
+        while (off < plan.size()) {
+          std::size_t n = plan.size() - off < 256 ? plan.size() - off : 256;
+          policy_copy(resp, plan.data() + off, n);
+          for (std::size_t i = 0; i < n; i += 8) {
+            h = mix(h, static_cast<std::uint64_t>(resp[i]));
+          }
+          off += n;
+        }
+        P::dispose(resp);
+        break;
+      }
+    }
+    P::dispose(query);
+    return h;
+  }
+};
+
+}  // namespace dpg::workloads::servers

@@ -1,0 +1,144 @@
+// wu-ftpd-like FTP server workload.
+//
+// Models the two behaviours §4.3 measures on the real wu-ftpd:
+//   - fb_realpath(): "first creates a pool, allocates some memory out of the
+//     pool, does some computation, frees the memory, and finally destroys the
+//     pool" — an inner PoolScope whose pages recycle immediately;
+//   - "for each ftp command there are 5-6 allocations from global pools, so
+//     that virtual memory usage increases at the rate of 5-6 pages per
+//     command" — modelled with make_global allocations that stay live until
+//     the session (process) ends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::servers {
+
+template <typename P>
+class Ftpd {
+ public:
+  static constexpr const char* kName = "ftpd";
+  static constexpr int kGlobalAllocsPerCommand = 6;
+
+  struct Params {
+    int sessions = 30;
+    int commands_per_session = 20;
+    std::size_t file_bytes = 1024 * 1024;
+  };
+
+  static std::uint64_t run(const Params& params) {
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    Rng rng(0xF7D);
+    for (int s = 0; s < params.sessions; ++s) {
+      typename P::Scope session;  // forked per-connection process
+      checksum = mix(checksum, simulate_process_spawn(rng.below(5)));
+      checksum = mix(checksum, handle_session(params, rng));
+    }
+    return checksum;
+  }
+
+ private:
+  using CharBuf = typename P::template ptr<char>;
+  struct LogEntry;
+  using LogPtr = typename P::template ptr<LogEntry>;
+  struct LogEntry {
+    std::uint64_t tag = 0;
+    LogPtr next{};
+  };
+
+  static std::uint64_t handle_session(const Params& params, Rng& rng) {
+    std::uint64_t h = 0;
+    // Global-pool state accumulated over the session (never freed while the
+    // process lives — the paper's 5-6 pages/command growth).
+    LogPtr global_log{};
+
+    static constexpr const char* kCommands[] = {"CWD",  "LIST", "RETR",
+                                                "SIZE", "PWD",  "STOR"};
+    for (int c = 0; c < params.commands_per_session; ++c) {
+      const char* cmd = kCommands[rng.below(6)];
+
+      // Command-argument copies in the session pool.
+      CharBuf arg = P::template alloc_array<char>(128);
+      std::size_t arg_len = 0;
+      for (const char* p = cmd; *p != '\0'; ++p) arg[arg_len++] = *p;
+      arg[arg_len++] = ' ';
+      for (int i = 0; i < 12; ++i) {
+        arg[arg_len++] = static_cast<char>('a' + rng.below(26));
+      }
+      arg[arg_len] = '\0';
+
+      // fb_realpath: its own short-lived pool.
+      h = mix(h, fb_realpath(arg, arg_len));
+
+      // The global-pool allocations per command.
+      for (int g = 0; g < kGlobalAllocsPerCommand; ++g) {
+        LogPtr entry = make_global<P, LogEntry>();
+        entry->tag = mix(static_cast<std::uint64_t>(c), rng.next());
+        entry->next = global_log;
+        global_log = entry;
+      }
+
+      // Data transfer for RETR/STOR: the session streams the whole file
+      // through a 1 KiB buffer (fill + checksum every byte, like a real
+      // send loop reading disk blocks).
+      if (cmd[0] == 'R' || cmd[0] == 'S') {
+        CharBuf xfer = P::template alloc_array<char>(1024);
+        char block[1024];  // the "disk block" read() fills
+        for (std::size_t sent = 0; sent < params.file_bytes; sent += 1024) {
+          for (std::size_t i = 0; i < 1024; ++i) {
+            block[i] = static_cast<char>('A' + (sent + i) % 23);
+          }
+          policy_copy(xfer, block, 1024);
+          for (std::size_t i = 0; i < 1024; i += 8) {
+            h = mix(h, static_cast<std::uint64_t>(xfer[i]));
+          }
+        }
+        P::dispose(xfer);
+      }
+      P::dispose(arg);
+    }
+
+    // Session (process) exit: the OS reclaims everything; we must release
+    // the global entries explicitly since our process lives on.
+    while (global_log != nullptr) {
+      LogPtr next = global_log->next;
+      h = mix(h, global_log->tag);
+      dispose_global<P>(global_log);
+      global_log = next;
+    }
+    return h;
+  }
+
+  // Resolves symlinks in a synthetic path — a pool-scoped scratch
+  // computation, exactly the wu-ftpd fb_realpath pattern the paper found
+  // benefits from pool allocation.
+  static std::uint64_t fb_realpath(const CharBuf& path, std::size_t len) {
+    typename P::Scope scratch;
+    CharBuf resolved = P::template alloc_array<char>(512);
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < len && out < 511; ++i) {
+      const char ch = path[i];
+      if (ch == ' ') {
+        resolved[out++] = '/';
+      } else {
+        resolved[out++] = ch;
+      }
+      // "symlink" expansion: vowels double.
+      if ((ch == 'a' || ch == 'e' || ch == 'o') && out < 511) {
+        resolved[out++] = ch;
+      }
+    }
+    std::uint64_t h = 0;
+    for (std::size_t i = 0; i < out; ++i) {
+      h = mix(h, static_cast<std::uint64_t>(resolved[i]));
+    }
+    P::dispose(resolved);
+    return h;
+  }
+};
+
+}  // namespace dpg::workloads::servers

@@ -1,0 +1,95 @@
+// ghttpd-like web server workload.
+//
+// The paper (§4.3): "ghttpd is a webserver designed for small memory
+// footprint and performs only one dynamic allocation per connection.
+// Consequently, there is no virtual memory wastage when we use our
+// approach." We model a fork-per-connection server: each connection is a
+// PoolScope, with exactly one dynamic allocation (the request/response
+// buffer), plus plenty of access work serving synthetic content.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::servers {
+
+template <typename P>
+class Ghttpd {
+ public:
+  static constexpr const char* kName = "ghttpd";
+
+  struct Params {
+    int connections = 300;
+    int files = 24;
+    std::size_t mean_file_bytes = 192 * 1024;
+  };
+
+  static std::uint64_t run(const Params& params) {
+    // Static site content (setup state, identical across policies — not part
+    // of the measured allocation behaviour, like files on disk).
+    const std::vector<std::string> site = make_site(params);
+
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    Rng rng(0x477D);
+    for (int c = 0; c < params.connections; ++c) {
+      typename P::Scope connection;  // fork(): child's whole lifetime
+      checksum = mix(checksum, simulate_process_spawn(rng.below(7)));
+      const std::size_t file = rng.below(site.size());
+      checksum = mix(checksum, serve(site[file], rng));
+    }
+    return checksum;
+  }
+
+ private:
+  using CharBuf = typename P::template ptr<char>;
+
+  static std::vector<std::string> make_site(const Params& params) {
+    std::vector<std::string> site;
+    Rng rng(0x5175);
+    for (int f = 0; f < params.files; ++f) {
+      const std::size_t len =
+          params.mean_file_bytes / 2 + rng.below(params.mean_file_bytes);
+      std::string body;
+      body.reserve(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        body.push_back(static_cast<char>('a' + (i * 31 + f * 7) % 26));
+      }
+      site.push_back(std::move(body));
+    }
+    return site;
+  }
+
+  // One connection: parse the request, copy the file through the single
+  // per-connection buffer in chunks, checksumming the "sent" bytes.
+  static std::uint64_t serve(const std::string& body, Rng& rng) {
+    constexpr std::size_t kBufSize = 4096;
+    CharBuf buf = P::template alloc_array<char>(kBufSize);  // THE allocation
+
+    // Request parsing (touches the buffer like a real recv would).
+    const char request[] = "GET /index.html HTTP/1.0\r\n\r\n";
+    policy_copy(buf, request, sizeof(request));
+    std::uint64_t h = 0;
+    for (std::size_t i = 0; buf[i] != '\r'; ++i) h = mix(h, static_cast<std::uint64_t>(buf[i]));
+
+    // Response streaming.
+    std::size_t sent = 0;
+    while (sent < body.size()) {
+      const std::size_t n = body.size() - sent < kBufSize ? body.size() - sent
+                                                          : kBufSize;
+      policy_copy(buf, body.data() + sent, n);
+      for (std::size_t i = 0; i < n; i += 64) {
+        h = mix(h, static_cast<std::uint64_t>(buf[i]));
+      }
+      sent += n;
+    }
+    h = mix(h, rng.below(2));  // keep-alive coin flip, as a stand-in branch
+    P::dispose(buf);
+    return h;
+  }
+};
+
+}  // namespace dpg::workloads::servers

@@ -1,0 +1,83 @@
+// netkit-telnetd-like workload. The paper (§4.3): "telnetd performs 45 small
+// allocations (and deallocations) before giving control to the shell in each
+// session (process). It does not do any more (de)allocations and just waits
+// for the session to end. Using our approach we just use 45 virtual pages
+// for each session." We reproduce exactly that: 45 setup allocations per
+// session, then a pure-access echo/line-discipline loop.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::servers {
+
+template <typename P>
+class Telnetd {
+ public:
+  static constexpr const char* kName = "telnetd";
+  static constexpr int kSetupAllocations = 45;
+
+  struct Params {
+    int sessions = 30;
+    int keystrokes = 400000;  // terminal bytes processed per session
+  };
+
+  static std::uint64_t run(const Params& params) {
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    Rng rng(0x73);
+    for (int s = 0; s < params.sessions; ++s) {
+      typename P::Scope session;  // forked per-connection process
+      checksum = mix(checksum, simulate_process_spawn(rng.below(9)));
+      checksum = mix(checksum, handle_session(params, rng));
+    }
+    return checksum;
+  }
+
+ private:
+  struct Block;
+  using BlockPtr = typename P::template ptr<Block>;
+  struct Block {
+    char data[48] = {};
+    BlockPtr next{};
+  };
+
+  static std::uint64_t handle_session(const Params& params, Rng& rng) {
+    // The 45 small setup allocations (terminal state, option tables,
+    // environment, pty buffers, ...), chained so teardown must chase them.
+    BlockPtr state{};
+    for (int i = 0; i < kSetupAllocations; ++i) {
+      BlockPtr b = P::template make<Block>();
+      for (int k = 0; k < 48; ++k) {
+        b->data[k] = static_cast<char>('A' + (i + k) % 26);
+      }
+      b->next = state;
+      state = b;
+    }
+
+    // Session body: telnet option negotiation + echo processing — memory
+    // accesses only, no allocation (the paper's observed pattern).
+    std::uint64_t h = 0;
+    for (int k = 0; k < params.keystrokes; ++k) {
+      const std::uint64_t ch = rng.below(128);
+      BlockPtr b = state;
+      // Each keystroke consults a few state blocks (line discipline tables).
+      for (int depth = 0; depth < 4 && b != nullptr; ++depth) {
+        h = mix(h, static_cast<std::uint64_t>(
+                       b->data[static_cast<int>(ch % 48)]));
+        b = b->next;
+      }
+      if (ch == 0x7F) h = mix(h, 0xDE1);  // IAC-ish special case
+    }
+
+    // Session end: the 45 deallocations.
+    while (state != nullptr) {
+      BlockPtr next = state->next;
+      P::dispose(state);
+      state = next;
+    }
+    return h;
+  }
+};
+
+}  // namespace dpg::workloads::servers

@@ -1,0 +1,88 @@
+// netkit-tftpd-like workload. The paper (§4.3): "in case of tftpd every
+// command from the client (e.g., get filename) forks off a new process" —
+// so every *command* is a PoolScope here. Block-oriented transfer with one
+// packet buffer per command.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::servers {
+
+template <typename P>
+class Tftpd {
+ public:
+  static constexpr const char* kName = "tftpd";
+
+  struct Params {
+    int commands = 250;
+    int files = 16;
+    std::size_t mean_file_bytes = 192 * 1024;
+  };
+
+  static std::uint64_t run(const Params& params) {
+    const std::vector<std::string> store = make_store(params);
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    Rng rng(0x7F7D);
+    for (int c = 0; c < params.commands; ++c) {
+      typename P::Scope command;  // fork per command
+      checksum = mix(checksum, simulate_process_spawn(rng.below(4)));
+      const std::string& file = store[rng.below(store.size())];
+      checksum = mix(checksum, transfer(file, rng));
+    }
+    return checksum;
+  }
+
+ private:
+  using CharBuf = typename P::template ptr<char>;
+  static constexpr std::size_t kBlock = 512;  // TFTP DATA block size
+
+  static std::vector<std::string> make_store(const Params& params) {
+    std::vector<std::string> store;
+    Rng rng(0x57F);
+    for (int f = 0; f < params.files; ++f) {
+      const std::size_t len =
+          params.mean_file_bytes / 2 + rng.below(params.mean_file_bytes);
+      std::string body(len, '\0');
+      for (std::size_t i = 0; i < len; ++i) {
+        body[i] = static_cast<char>('0' + (i * 13 + f) % 64);
+      }
+      store.push_back(std::move(body));
+    }
+    return store;
+  }
+
+  static std::uint64_t transfer(const std::string& file, Rng& rng) {
+    // RRQ parse: filename + mode copied into a request buffer.
+    CharBuf request = P::template alloc_array<char>(128);
+    const char rrq[] = "GET somefile octet";
+    for (std::size_t i = 0; i < sizeof(rrq); ++i) request[i] = rrq[i];
+
+    CharBuf packet = P::template alloc_array<char>(kBlock + 4);
+    std::uint64_t h = 0;
+    std::uint16_t block_no = 0;
+    for (std::size_t off = 0; off < file.size(); off += kBlock) {
+      block_no++;
+      packet[0] = 0;
+      packet[1] = 3;  // DATA
+      packet[2] = static_cast<char>(block_no >> 8);
+      packet[3] = static_cast<char>(block_no & 0xFF);
+      const std::size_t n =
+          file.size() - off < kBlock ? file.size() - off : kBlock;
+      policy_copy(packet + 4, file.data() + off, n);
+      for (std::size_t i = 0; i < n + 4; i += 16) {
+        h = mix(h, static_cast<std::uint64_t>(packet[i]));
+      }
+      // Simulated ACK wait: nothing allocated.
+      h = mix(h, rng.below(3));
+    }
+    P::dispose(packet);
+    P::dispose(request);
+    return h;
+  }
+};
+
+}  // namespace dpg::workloads::servers

@@ -1,0 +1,115 @@
+// jwhois-like whois client: parse a configuration mapping domain patterns to
+// whois servers, then resolve a batch of queries. Modest allocation (config
+// records + one query record per lookup), lots of string matching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::utils {
+
+template <typename P>
+class Jwhois {
+ public:
+  static constexpr const char* kName = "jwhois";
+
+  struct Params {
+    int config_entries = 1200;
+    int queries = 2500;
+  };
+
+  static std::uint64_t run(const Params& params) {
+    typename P::Scope scope;
+    Rng rng(0x3012);
+
+    // Parse the "config file" into allocated entries.
+    EntryPtr config{};
+    for (int i = 0; i < params.config_entries; ++i) {
+      EntryPtr e = P::template make<Entry>();
+      fill_name(e->pattern, 12 + rng.below(8), rng);
+      e->pattern_len = 0;
+      while (e->pattern[e->pattern_len] != '\0') e->pattern_len++;
+      fill_name(e->server, 8 + rng.below(12), rng);
+      e->next = config;
+      config = e;
+    }
+
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    QueryPtr query = P::template make<Query>();  // reused request record
+    for (int q = 0; q < params.queries; ++q) {
+      fill_name(query->domain, 20 + rng.below(10), rng);
+
+      // jwhois matches each config pattern against the query with shell-style
+      // wildcards ('?' any char, '.' literal-or-wildcard here) and picks the
+      // longest match — a backtracking scan over every entry per query.
+      EntryPtr best{};
+      std::size_t best_len = 0;
+      std::size_t qlen = 0;
+      while (query->domain[qlen] != '\0') qlen++;
+      for (EntryPtr e = config; e != nullptr; e = e->next) {
+        const std::size_t plen = e->pattern_len;
+        if (plen > qlen || plen <= best_len) continue;
+        // Try the pattern at every alignment (suffix preferred): the
+        // backtracking cost real glob matching pays.
+        bool match = false;
+        for (std::size_t off = qlen - plen + 1; off-- > 0 && !match;) {
+          bool here = true;
+          for (std::size_t i = 0; here && i < plen; ++i) {
+            const char pc = e->pattern[i];
+            const char qc = query->domain[off + i];
+            here = pc == qc || pc == '.';
+          }
+          match = here;
+        }
+        if (match) {
+          best = e;
+          best_len = plen;
+        }
+      }
+      if (best != nullptr) {
+        for (std::size_t i = 0; best->server[i] != '\0'; ++i) {
+          h = mix(h, static_cast<std::uint64_t>(best->server[i]));
+        }
+      } else {
+        h = mix(h, 0x404);
+      }
+    }
+    P::dispose(query);
+
+    for (EntryPtr e = config; e != nullptr;) {
+      EntryPtr next = e->next;
+      P::dispose(e);
+      e = next;
+    }
+    return h;
+  }
+
+ private:
+  struct Entry;
+  using EntryPtr = typename P::template ptr<Entry>;
+  struct Entry {
+    char pattern[24] = {};
+    std::size_t pattern_len = 0;
+    char server[32] = {};
+    EntryPtr next{};
+  };
+  struct Query;
+  using QueryPtr = typename P::template ptr<Query>;
+  struct Query {
+    char domain[32] = {};
+  };
+
+  template <typename Arr>
+  static void fill_name(Arr& out, std::size_t len, Rng& rng) {
+    std::size_t i = 0;
+    for (; i < len; ++i) {
+      out[i] = static_cast<char>(rng.below(4) == 0 ? '.' : 'a' + rng.below(26));
+    }
+    out[i] = '\0';
+  }
+};
+
+}  // namespace dpg::workloads::utils

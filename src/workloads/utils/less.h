@@ -1,0 +1,121 @@
+// less-like pager. The paper applied the approach to "two interactive
+// applications netkit-telnetd and unix utility less and did not notice any
+// perceptible difference in the response time" (§4.1). The workload: load a
+// file into a buffer + line index (a handful of allocations), then service a
+// session of interactive commands — paging, jumping, and substring searches
+// — which are pure memory accesses over the indexed text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::utils {
+
+template <typename P>
+class Less {
+ public:
+  static constexpr const char* kName = "less";
+
+  struct Params {
+    int file_lines = 30000;
+    int commands = 400;  // keystrokes/searches in the session
+  };
+
+  static std::uint64_t run(const Params& params) {
+    typename P::Scope session;
+    const std::string file = make_file(params.file_lines);
+
+    // "Open" the file: one text buffer + a line index (like real less's
+    // linebuf + position table).
+    CharBuf text = P::template alloc_array<char>(file.size());
+    policy_copy(text, file.data(), file.size());
+    std::size_t line_count = 1;
+    for (const char ch : file) line_count += ch == '\n' ? 1 : 0;
+    OffsetBuf index = P::template alloc_array<std::size_t>(line_count + 1);
+    std::size_t ln = 0;
+    index[ln++] = 0;
+    for (std::size_t i = 0; i < file.size(); ++i) {
+      if (file[i] == '\n') index[ln++] = i + 1;
+    }
+    index[ln] = file.size();
+    const std::size_t lines = ln - 1;
+
+    // The session: page, jump, search. Searches allocate a small pattern
+    // buffer (the only per-command allocation, like less's cmdbuf).
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    Rng rng(0x1E55);
+    std::size_t top = 0;  // first visible line
+    for (int cmd = 0; cmd < params.commands; ++cmd) {
+      const std::uint64_t action = rng.below(10);
+      if (action < 4) {
+        // Space: render the next page (24 lines of byte accesses).
+        for (int row = 0; row < 24 && top + static_cast<std::size_t>(row) < lines; ++row) {
+          const std::size_t line = top + static_cast<std::size_t>(row);
+          for (std::size_t i = index[line]; i < index[line + 1]; i += 4) {
+            h = mix(h, static_cast<std::uint64_t>(text[i]));
+          }
+        }
+        top = top + 24 < lines ? top + 24 : 0;
+      } else if (action < 6) {
+        // G: jump to a random line (index arithmetic only).
+        top = rng.below(lines);
+        h = mix(h, top);
+      } else {
+        // /pattern: substring search from the current position, wrapping.
+        CharBuf pattern = P::template alloc_array<char>(8);
+        const std::size_t plen = 3 + rng.below(4);
+        for (std::size_t i = 0; i < plen; ++i) {
+          pattern[i] = static_cast<char>('a' + rng.below(26));
+        }
+        std::size_t found = lines;  // sentinel: not found
+        for (std::size_t probe = 0; probe < lines && found == lines; ++probe) {
+          const std::size_t line = (top + probe) % lines;
+          const std::size_t begin = index[line];
+          const std::size_t end = index[line + 1];
+          for (std::size_t i = begin; i + plen <= end; ++i) {
+            bool match = true;
+            for (std::size_t k = 0; match && k < plen; ++k) {
+              match = text[i + k] == pattern[k];
+            }
+            if (match) {
+              found = line;
+              break;
+            }
+          }
+        }
+        if (found != lines) top = found;
+        h = mix(h, found);
+        P::dispose(pattern);
+      }
+    }
+
+    P::dispose(index);
+    P::dispose(text);
+    return mix(h, static_cast<std::uint64_t>(lines));
+  }
+
+ private:
+  using CharBuf = typename P::template ptr<char>;
+  using OffsetBuf = typename P::template ptr<std::size_t>;
+
+  static std::string make_file(int lines) {
+    static constexpr const char* kWords[] = {
+        "kernel", "module", "buffer", "signal", "daemon", "socket",
+        "thread", "packet", "mmap",   "fault",  "page",   "alias"};
+    std::string text;
+    Rng rng(0xF11E);
+    for (int l = 0; l < lines; ++l) {
+      const int words = 6 + static_cast<int>(rng.below(8));
+      for (int w = 0; w < words; ++w) {
+        text += kWords[rng.below(12)];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    return text;
+  }
+};
+
+}  // namespace dpg::workloads::utils

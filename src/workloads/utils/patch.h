@@ -1,0 +1,157 @@
+// patch-like workload, structured like GNU patch: the input file is read
+// into one large buffer with a line-index array; each hunk allocates a small
+// hunk record + replacement text, is located by index scan with context
+// verification (including fuzz backoff), and applied by splicing the line
+// index. The patched file is rendered out at the end. Allocation: a handful
+// per hunk; work: index memmoves + byte comparisons — the low-allocation,
+// access-heavy utility profile (paper overhead: ~1%).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "workloads/common.h"
+
+namespace dpg::workloads::utils {
+
+template <typename P>
+class Patch {
+ public:
+  static constexpr const char* kName = "patch";
+
+  struct Params {
+    int original_lines = 150000;
+    int hunks = 700;
+  };
+
+  static std::uint64_t run(const Params& params) {
+    typename P::Scope scope;
+    Rng rng(0x9A7C);
+
+    // "Read" the original file: one text buffer + one line index.
+    const std::size_t n0 = static_cast<std::size_t>(params.original_lines);
+    const std::size_t text_bytes = n0 * kLineLen;
+    CharBuf text = P::template alloc_array<char>(text_bytes);
+    for (std::size_t i = 0; i < text_bytes; ++i) {
+      text[i] = static_cast<char>('!' + (i * 31 + (i / kLineLen)) % 90);
+    }
+    // Index entries point into `text` or into per-hunk replacement buffers.
+    std::size_t count = n0;
+    std::size_t index_cap = n0 * 2;
+    LineRefBuf index = P::template alloc_array<LineRef>(index_cap);
+    for (std::size_t i = 0; i < n0; ++i) {
+      index[i] = LineRef{text + static_cast<std::ptrdiff_t>(i * kLineLen),
+                         kLineLen};
+    }
+
+    HunkPtr hunks{};
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (int k = 0; k < params.hunks; ++k) {
+      // Build the hunk: one record with the replacement text inline (patch
+      // reads each hunk into a single buffer).
+      HunkPtr hunk = P::template make<Hunk>();
+      hunk->insert_lines = 1 + rng.below(4);
+      hunk->delete_lines = 1 + rng.below(3);
+      for (std::size_t i = 0; i < hunk->insert_lines * kLineLen; ++i) {
+        hunk->text[i] = static_cast<char>('A' + (i + static_cast<std::size_t>(k)) % 26);
+      }
+      hunk->next = hunks;
+      hunks = hunk;
+
+      // Locate: target line plus fuzzy context search (patch scans nearby
+      // lines comparing context bytes until it matches).
+      const std::size_t target = rng.below(count > 16 ? count - 16 : 1);
+      std::size_t at = target;
+      for (int fuzz = 0; fuzz < 8; ++fuzz) {
+        const std::size_t probe = target + static_cast<std::size_t>(fuzz);
+        std::uint64_t ctx = 0;
+        for (int c = 0; c < 2 && probe + static_cast<std::size_t>(c) < count; ++c) {
+          const LineRef& ref = index[probe + static_cast<std::size_t>(c)];
+          for (std::size_t i = 0; i < ref.length; i += 4) {
+            ctx = mix(ctx, static_cast<std::uint64_t>(ref.start[i]));
+          }
+        }
+        h = mix(h, ctx);
+        at = probe;  // deterministic workload: last probe "matches"
+      }
+
+      // Apply: splice the index (delete then insert) with memmove-style
+      // shifting — the dominant cost of patching large files.
+      const std::size_t del =
+          hunk->delete_lines < count - at ? hunk->delete_lines : count - at;
+      const std::size_t ins = hunk->insert_lines;
+      if (count - del + ins > index_cap) break;  // defensive; never hit
+      if (ins >= del) {
+        const std::size_t grow = ins - del;
+        for (std::size_t i = count; i > at + del; --i) {
+          index[i - 1 + grow] = index[i - 1];
+        }
+      } else {
+        const std::size_t shrink = del - ins;
+        for (std::size_t i = at + del; i < count; ++i) {
+          index[i - shrink] = index[i];
+        }
+      }
+      for (std::size_t i = 0; i < ins; ++i) {
+        // Interior pointer into the hunk record's inline text: share the
+        // record's policy pointer via arithmetic on a char view.
+        index[at + i] = LineRef{hunk_text_line(hunk, i), kLineLen};
+      }
+      count = count - del + ins;
+    }
+
+    // Render the patched file (patch writes the output file once).
+    for (std::size_t ln = 0; ln < count; ++ln) {
+      const LineRef& ref = index[ln];
+      for (std::size_t i = 0; i < ref.length; i += 8) {
+        h = mix(h, static_cast<std::uint64_t>(ref.start[i]));
+      }
+    }
+    h = mix(h, static_cast<std::uint64_t>(count));
+
+    for (HunkPtr hk = hunks; hk != nullptr;) {
+      HunkPtr next = hk->next;
+      P::dispose(hk);
+      hk = next;
+    }
+    P::dispose(index);
+    P::dispose(text);
+    return h;
+  }
+
+ private:
+  static constexpr std::size_t kLineLen = 72;
+  using CharBuf = typename P::template ptr<char>;
+  struct LineRef {
+    // Policy pointer, not a raw char*: line reads stay visible to the
+    // software-checking baselines (interior pointers share the allocation's
+    // capability, as in SafeC).
+    CharBuf start{};
+    std::size_t length = 0;
+  };
+  using LineRefBuf = typename P::template ptr<LineRef>;
+  struct Hunk;
+  using HunkPtr = typename P::template ptr<Hunk>;
+  struct Hunk {
+    std::size_t insert_lines = 0;
+    std::size_t delete_lines = 0;
+    char text[4 * kLineLen] = {};  // replacement lines, inline
+    HunkPtr next{};
+  };
+
+  // A CharBuf view of line `i` of the hunk's inline text. For checked
+  // policies this stays within the hunk allocation's capability.
+  static CharBuf hunk_text_line(HunkPtr hunk, std::size_t i) {
+    if constexpr (std::is_pointer_v<HunkPtr>) {
+      return hunk->text + i * kLineLen;
+    } else if constexpr (requires { hunk.capability(); }) {
+      // Fat pointer: rebase to the text member, keeping the capability.
+      return CharBuf(&hunk->text[0] + i * kLineLen, hunk.capability());
+    } else {
+      // Shadow-bitmap pointer: address-based, no per-object metadata.
+      return CharBuf(&hunk->text[0] + i * kLineLen);
+    }
+  }
+};
+
+}  // namespace dpg::workloads::utils

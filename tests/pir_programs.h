@@ -1,0 +1,218 @@
+// Shared PIR programs used across compiler tests.
+#pragma once
+
+namespace dpg::testing {
+
+// The paper's running example (Figure 1): f() calls g(); g builds a 10-node
+// list hanging off the head p, then frees all but the head; back in f the
+// reference p->next->val is a dangling use.
+inline constexpr const char* kFigure1 = R"(
+func main() {
+  call f()
+  ret
+}
+func f() {
+  p = malloc 2        # struct s { next, val }
+  call g(p)
+  q = getfield p, 0   # p->next, freed inside g
+  v = getfield q, 1   # p->next->val  -- DANGLING
+  out v
+  ret
+}
+func g(p) {
+  i = const 0
+  n = const 9
+  cur = copy p
+loop:
+  c = lt i, n
+  cbr c, body, done
+body:
+  node = malloc 2
+  setfield cur, 0, node
+  setfield node, 1, i
+  cur = copy node
+  one = const 1
+  i = add i, one
+  br loop
+done:
+  zero = const 0
+  t = getfield p, 0
+inner:
+  nz = eq t, zero
+  cbr nz, end, freeit
+freeit:
+  nxt = getfield t, 0
+  free t
+  t = copy nxt
+  br inner
+end:
+  ret
+}
+)";
+
+// Same structure but well-behaved: g frees all nodes including the chain,
+// and f never touches them afterwards.
+inline constexpr const char* kFigure1Fixed = R"(
+func main() {
+  r = call f()
+  out r
+  ret
+}
+func f() {
+  p = malloc 2
+  call g(p)
+  v = getfield p, 1
+  free p
+  ret v
+}
+func g(p) {
+  i = const 0
+  n = const 9
+  cur = copy p
+loop:
+  c = lt i, n
+  cbr c, body, done
+body:
+  node = malloc 2
+  setfield cur, 0, node
+  setfield node, 1, i
+  cur = copy node
+  one = const 1
+  i = add i, one
+  br loop
+done:
+  zero = const 0
+  t = getfield p, 0
+  setfield p, 0, zero
+inner:
+  nz = eq t, zero
+  cbr nz, end, freeit
+freeit:
+  nxt = getfield t, 0
+  free t
+  t = copy nxt
+  br inner
+end:
+  sum = const 123
+  setfield p, 1, sum
+  ret
+}
+)";
+
+// Heap data escaping through a global: must land in a main-scoped pool.
+inline constexpr const char* kGlobalEscape = R"(
+global cache
+func main() {
+  call worker()
+  p = loadg cache
+  v = getfield p, 0
+  out v
+  ret
+}
+func worker() {
+  p = malloc 1
+  seven = const 7
+  setfield p, 0, seven
+  storeg cache, p
+  ret
+}
+)";
+
+// A node that never escapes leaf(): pool belongs in leaf.
+inline constexpr const char* kLocalPool = R"(
+func main() {
+  i = const 0
+  n = const 5
+loop:
+  c = lt i, n
+  cbr c, body, done
+body:
+  call leaf()
+  one = const 1
+  i = add i, one
+  br loop
+done:
+  ret
+}
+func leaf() {
+  p = malloc 4
+  x = const 11
+  setfield p, 0, x
+  y = getfield p, 0
+  out y
+  free p
+  ret
+}
+)";
+
+// Recursive builder: the SCC {build} cannot host the pool; it must move to
+// the trivial caller main.
+inline constexpr const char* kRecursive = R"(
+func main() {
+  d = const 6
+  t = call build(d)
+  s = call total(t)
+  out s
+  ret
+}
+func build(d) {
+  zero = const 0
+  z = eq d, zero
+  cbr z, leafcase, inner
+leafcase:
+  nil = const 0
+  ret nil
+inner:
+  p = malloc 3
+  one = const 1
+  dm = sub d, one
+  l = call build(dm)
+  r = call build(dm)
+  setfield p, 0, l
+  setfield p, 1, r
+  setfield p, 2, d
+  ret p
+}
+func total(t) {
+  zero = const 0
+  z = eq t, zero
+  cbr z, basecase, walk
+basecase:
+  ret zero
+walk:
+  l = getfield t, 0
+  r = getfield t, 1
+  v = getfield t, 2
+  sl = call total(l)
+  sr = call total(r)
+  s = add sl, sr
+  s = add s, v
+  ret s
+}
+)";
+
+// Two independent structures with different lifetimes: two pools, homed in
+// different functions.
+inline constexpr const char* kTwoPools = R"(
+func main() {
+  keeper = malloc 2
+  one = const 1
+  setfield keeper, 0, one
+  call scratchwork()
+  v = getfield keeper, 0
+  out v
+  free keeper
+  ret
+}
+func scratchwork() {
+  tmp = malloc 8
+  five = const 5
+  setfield tmp, 3, five
+  w = getfield tmp, 3
+  out w
+  free tmp
+  ret
+}
+)";
+
+}  // namespace dpg::testing

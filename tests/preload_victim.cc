@@ -1,0 +1,98 @@
+// Victim binary for the LD_PRELOAD interposition tests. Knows nothing about
+// dpguard: plain malloc/free C++ with selectable bugs.
+//
+//   preload_victim clean    exercise malloc/calloc/realloc/free correctly
+//   preload_victim uaf      read through a dangling pointer
+//   preload_victim uaf-w    write through a dangling pointer
+//   preload_victim df       double free
+//   preload_victim stale-realloc   use the pre-realloc pointer
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+// The optimizer is entitled to delete UB (a store to freed memory is a dead
+// store; a second free of the same pointer may be folded). Launder the
+// pointer so each bug actually reaches the allocator/MMU at -O2.
+template <typename T>
+T* launder_ptr(T* p) {
+  asm volatile("" : "+r"(p));
+  return p;
+}
+
+int run_clean() {
+  std::vector<char*> blocks;
+  for (int i = 0; i < 200; ++i) {
+    auto* p = static_cast<char*>(std::malloc(static_cast<std::size_t>(16 + i)));
+    std::snprintf(p, 16, "block-%d", i);
+    blocks.push_back(p);
+  }
+  auto* z = static_cast<int*>(std::calloc(64, sizeof(int)));
+  for (int i = 0; i < 64; ++i) {
+    if (z[i] != 0) return 3;
+  }
+  z = static_cast<int*>(std::realloc(z, 128 * sizeof(int)));
+  z[100] = 7;
+  std::free(z);
+  long checksum = 0;
+  for (char* p : blocks) {
+    checksum += p[0];
+    std::free(p);
+  }
+  std::printf("clean ok %ld\n", checksum);
+  return 0;
+}
+
+int run_uaf(bool write) {
+  auto* p = static_cast<char*>(std::malloc(64));
+  std::strcpy(p, "session-token");
+  std::free(p);
+  if (write) {
+    launder_ptr(p)[0] = 'X';  // dangling write
+    asm volatile("" ::: "memory");
+  } else {
+    volatile char c = launder_ptr(p)[0];  // dangling read
+    (void)c;
+  }
+  std::printf("BUG NOT DETECTED\n");
+  return 7;
+}
+
+int run_df() {
+  void* p = std::malloc(48);
+  std::free(p);
+  std::free(launder_ptr(p));  // double free
+  std::printf("BUG NOT DETECTED\n");
+  return 7;
+}
+
+int run_stale_realloc() {
+  auto* p = static_cast<char*>(std::malloc(32));
+  std::strcpy(p, "old");
+  auto* q = static_cast<char*>(std::realloc(p, 4096));
+  if (p != q) {
+    volatile char c = launder_ptr(p)[0];  // stale pre-realloc alias
+    (void)c;
+    std::printf("BUG NOT DETECTED\n");
+    return 7;
+  }
+  std::free(q);
+  std::printf("realloc did not move; inconclusive\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "clean";
+  if (mode == "clean") return run_clean();
+  if (mode == "uaf") return run_uaf(false);
+  if (mode == "uaf-w") return run_uaf(true);
+  if (mode == "df") return run_df();
+  if (mode == "stale-realloc") return run_stale_realloc();
+  std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
+  return 2;
+}

@@ -1,0 +1,247 @@
+// Tests for the comparison systems: Electric Fence, the capability store,
+// and memcheck-lite — including the *failure modes* the paper attributes to
+// each (efence's physical blow-up, memcheck's heuristic hole).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "baseline/capability.h"
+#include "baseline/efence.h"
+#include "baseline/memcheck.h"
+#include "core/fault_manager.h"
+#include "vm/page.h"
+
+namespace dpg::baseline {
+namespace {
+
+// --- Electric Fence --------------------------------------------------------
+
+TEST(Efence, AllocationsAreUsable) {
+  EfenceAllocator ef;
+  auto* p = static_cast<char*>(ef.malloc(100));
+  std::memset(p, 'e', 100);
+  EXPECT_EQ(p[99], 'e');
+  ef.free(p);
+}
+
+TEST(Efence, DanglingReadDetected) {
+  EfenceAllocator ef;
+  auto* p = static_cast<char*>(ef.malloc(24, 1));
+  ef.free(p, 2);
+  const auto report = core::catch_dangling([&] {
+    volatile char c = p[0];
+    (void)c;
+  });
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->alloc_site, 1u);
+  EXPECT_EQ(report->free_site, 2u);
+}
+
+TEST(Efence, DoubleFreeDetected) {
+  EfenceAllocator ef;
+  void* p = ef.malloc(16);
+  ef.free(p);
+  const auto report = core::catch_dangling([&] { ef.free(p); });
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->kind, core::AccessKind::kFree);
+}
+
+TEST(Efence, InvalidFreeDetected) {
+  EfenceAllocator ef;
+  int local = 0;
+  const auto report = core::catch_dangling([&] { ef.free(&local); });
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->kind, core::AccessKind::kInvalidFree);
+}
+
+TEST(Efence, OnePhysicalPagePerObject) {
+  // The paper's §5.3 criticism, measured: N small objects cost N pages.
+  EfenceAllocator ef;
+  const std::size_t before = ef.stats().mapped_bytes;
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 100; ++i) ptrs.push_back(ef.malloc(16));
+  EXPECT_EQ(ef.stats().mapped_bytes - before, 100 * vm::kPageSize);
+  for (void* p : ptrs) ef.free(p);
+  // Freed pages stay pinned: never reused.
+  EXPECT_EQ(ef.stats().protected_bytes, 100 * vm::kPageSize);
+}
+
+TEST(Efence, ObjectPlacedAtEndOfPage) {
+  EfenceAllocator ef;
+  auto* p = static_cast<char*>(ef.malloc(24));
+  EXPECT_GE(vm::page_offset(vm::addr(p)), vm::kPageSize - 32);
+  ef.free(p);
+}
+
+// --- Capability store -------------------------------------------------------
+
+TEST(Capability, StoreIssueRevokeLifecycle) {
+  CapabilityStore store(64);
+  const std::uint64_t cap = store.issue();
+  EXPECT_TRUE(store.live(cap));
+  EXPECT_TRUE(store.revoke(cap));
+  EXPECT_FALSE(store.live(cap));
+  EXPECT_FALSE(store.revoke(cap));  // already revoked
+}
+
+TEST(Capability, StoreGrowsBeyondInitialCapacity) {
+  CapabilityStore store(8);
+  std::vector<std::uint64_t> caps;
+  for (int i = 0; i < 1000; ++i) caps.push_back(store.issue());
+  for (const std::uint64_t cap : caps) EXPECT_TRUE(store.live(cap));
+  EXPECT_EQ(store.size(), 1000u);
+  for (const std::uint64_t cap : caps) EXPECT_TRUE(store.revoke(cap));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(Capability, CapabilitiesAreNeverReused) {
+  CapabilityStore store(64);
+  const std::uint64_t a = store.issue();
+  store.revoke(a);
+  const std::uint64_t b = store.issue();
+  EXPECT_NE(a, b);
+}
+
+TEST(Capability, PointerDerefChecksStore) {
+  auto p = CapAllocator::alloc_array<int>(4);
+  p[0] = 42;
+  EXPECT_EQ(*p, 42);
+  CapAllocator::deallocate(p.raw());
+  const auto report = core::catch_dangling([&] {
+    volatile int v = p[0];
+    (void)v;
+  });
+  EXPECT_TRUE(report.has_value());
+}
+
+TEST(Capability, InteriorPointerSharesCapability) {
+  auto p = CapAllocator::alloc_array<int>(8);
+  auto q = p + 4;
+  *q = 7;
+  EXPECT_EQ(p[4], 7);
+  CapAllocator::deallocate(p.raw());
+  const auto report = core::catch_dangling([&] {
+    volatile int v = *q;  // stale via the interior pointer too
+    (void)v;
+  });
+  EXPECT_TRUE(report.has_value());
+}
+
+TEST(Capability, CopiedPointersShareFate) {
+  auto p = CapAllocator::alloc_array<long>(2);
+  auto copy = p;
+  *p = 9;
+  EXPECT_EQ(*copy, 9);
+  CapAllocator::deallocate(p.raw());
+  const auto report = core::catch_dangling([&] {
+    volatile long v = *copy;
+    (void)v;
+  });
+  EXPECT_TRUE(report.has_value());
+}
+
+TEST(Capability, DoubleFreeDetected) {
+  auto p = CapAllocator::alloc_array<char>(16);
+  CapAllocator::deallocate(p.raw());
+  const auto report =
+      core::catch_dangling([&] { CapAllocator::deallocate(p.raw()); });
+  EXPECT_TRUE(report.has_value());
+}
+
+TEST(Capability, StoreBytesGrowWithLiveObjects) {
+  CapabilityStore store(8);
+  const std::size_t before = store.store_bytes();
+  for (int i = 0; i < 100; ++i) (void)store.issue();
+  EXPECT_GT(store.store_bytes(), before);  // the paper's GCS memory overhead
+}
+
+// --- memcheck-lite -----------------------------------------------------------
+
+TEST(Memcheck, BitmapMarksAndChecks) {
+  ShadowBitmap bitmap;
+  bitmap.mark(0x5000, 16, true);
+  EXPECT_TRUE(bitmap.readable(0x5000, 16));
+  EXPECT_TRUE(bitmap.readable(0x5008, 8));
+  EXPECT_FALSE(bitmap.readable(0x5000, 17));
+  EXPECT_FALSE(bitmap.readable(0x4FFF, 1));
+  bitmap.mark(0x5000, 16, false);
+  EXPECT_FALSE(bitmap.readable(0x5000, 1));
+}
+
+TEST(Memcheck, BitmapSpansChunkBoundary) {
+  ShadowBitmap bitmap;
+  const std::uintptr_t boundary = ShadowBitmap::kChunkBytes;
+  bitmap.mark(boundary - 8, 16, true);
+  EXPECT_TRUE(bitmap.readable(boundary - 8, 16));
+  EXPECT_FALSE(bitmap.readable(boundary + 8, 1));
+}
+
+TEST(Memcheck, UseAfterFreeDetectedWhileQuarantined) {
+  auto& ctx = MemcheckContext::global();
+  auto* p = static_cast<char*>(ctx.allocate(64));
+  p[0] = 'm';
+  ctx.deallocate(p);
+  const auto report = core::catch_dangling([&] {
+    ctx.check(p, 1, core::AccessKind::kRead);
+  });
+  EXPECT_TRUE(report.has_value());
+}
+
+TEST(Memcheck, PointerWrapperChecksEveryAccess) {
+  auto& ctx = MemcheckContext::global();
+  mc_ptr<int> p(static_cast<int*>(ctx.allocate(sizeof(int) * 4)));
+  p[2] = 5;
+  EXPECT_EQ(p[2], 5);
+  const std::uint64_t checks_before = ctx.stats().checks;
+  (void)p[0];
+  (void)p[1];
+  EXPECT_GE(ctx.stats().checks, checks_before + 2);
+  ctx.deallocate(p.raw());
+}
+
+TEST(Memcheck, DoubleFreeDetected) {
+  auto& ctx = MemcheckContext::global();
+  void* p = ctx.allocate(32);
+  ctx.deallocate(p);
+  const auto report = core::catch_dangling([&] { ctx.deallocate(p); });
+  EXPECT_TRUE(report.has_value());
+}
+
+TEST(Memcheck, HeuristicHoleAfterQuarantineEviction) {
+  // The paper §5.1: heuristic tools "can detect dangling memory errors only
+  // as long as the freed memory is not reused". Flood the quarantine so the
+  // victim block is really freed, then re-allocate until glibc hands the
+  // same address back: the stale access now goes UNDETECTED.
+  auto& ctx = MemcheckContext::global();
+  auto* victim = static_cast<char*>(ctx.allocate(48));
+  ctx.deallocate(victim);
+  // Evict: push > kQuarantineLimit bytes through the quarantine.
+  for (int i = 0; i < 40; ++i) {
+    void* big = ctx.allocate(1u << 20);
+    ctx.deallocate(big);
+  }
+  // Reallocate until the victim address is reused (glibc tcache makes this
+  // quick); give up gracefully if the allocator never returns it.
+  std::vector<void*> reallocs;
+  bool reused = false;
+  for (int i = 0; i < 512 && !reused; ++i) {
+    void* p = ctx.allocate(48);
+    reallocs.push_back(p);
+    reused = p == victim;
+  }
+  if (reused) {
+    const auto report = core::catch_dangling([&] {
+      ctx.check(victim, 1, core::AccessKind::kRead);
+    });
+    EXPECT_FALSE(report.has_value()) << "heuristic should miss after reuse";
+  }
+  for (void* p : reallocs) ctx.deallocate(p);
+}
+
+TEST(Memcheck, ShadowBytesGrowWithFootprint) {
+  auto& ctx = MemcheckContext::global();
+  EXPECT_GT(ctx.shadow_bytes(), 0u);  // prior tests touched memory
+}
+
+}  // namespace
+}  // namespace dpg::baseline

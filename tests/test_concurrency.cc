@@ -1,0 +1,179 @@
+// Multithreaded tests: the engine serializes mutators on a mutex and the
+// registry publishes lock-free snapshots for the (per-thread) fault path —
+// these suites hammer both from several threads at once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/fault_manager.h"
+#include "core/guarded_heap.h"
+#include "core/guarded_pool.h"
+#include "workloads/common.h"
+
+namespace dpg::core {
+namespace {
+
+constexpr int kThreads = 4;
+
+TEST(Concurrency, ParallelAllocFreeChurn) {
+  vm::PhysArena arena(1u << 30);
+  GuardedHeap heap(arena, {.freed_va_budget = 16u << 20});
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&heap, &failed, t] {
+      workloads::Rng rng(static_cast<std::uint64_t>(t) + 1);
+      std::vector<std::pair<unsigned char*, unsigned char>> live;
+      for (int round = 0; round < 800; ++round) {
+        if (live.size() < 20 || rng.below(2) == 0) {
+          const std::size_t size = 1 + rng.below(500);
+          auto* p = static_cast<unsigned char*>(heap.malloc(size));
+          const auto fill = static_cast<unsigned char>((t << 6) | (round & 63));
+          p[0] = fill;
+          p[size - 1] = fill;
+          live.emplace_back(p, fill);
+        } else {
+          const std::size_t pick = rng.below(live.size());
+          if (*live[pick].first != live[pick].second) failed = true;
+          heap.free(live[pick].first);
+          live[pick] = live.back();
+          live.pop_back();
+        }
+      }
+      for (auto& [p, fill] : live) {
+        if (*p != fill) failed = true;
+        heap.free(p);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_FALSE(failed.load()) << "cross-thread corruption";
+  const GuardStats stats = heap.stats();
+  EXPECT_EQ(stats.allocations, stats.frees);
+}
+
+TEST(Concurrency, ParallelDanglingProbesEachThreadTraps) {
+  // Each thread frees its own object then probes it: the probe machinery
+  // (sigsetjmp state) is thread-local, and every thread must detect.
+  vm::PhysArena arena(1u << 28);
+  GuardedHeap heap(arena);
+  std::atomic<int> detections{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&heap, &detections] {
+      for (int i = 0; i < 50; ++i) {
+        auto* p = static_cast<char*>(heap.malloc(32));
+        heap.free(p);
+        const auto report = catch_dangling([&] {
+          volatile char c = *p;
+          (void)c;
+        });
+        if (report.has_value()) detections.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(detections.load(), kThreads * 50);
+}
+
+TEST(Concurrency, RegistryLookupsRaceWithMutation) {
+  // Readers (lookup) run lock-free against writers (insert/erase + growth).
+  ShadowRegistry reg(64);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+
+  // A stable record always present: readers assert they can always find it.
+  ObjectRecord anchor;
+  anchor.shadow_base = 0x7600000000;
+  anchor.span_length = vm::kPageSize;
+  reg.insert(anchor);
+
+  std::thread writer([&] {
+    workloads::Rng rng(7);
+    std::vector<std::unique_ptr<ObjectRecord>> live;
+    for (int round = 0; round < 20000; ++round) {
+      if (live.size() < 100 || rng.below(2) == 0) {
+        auto rec = std::make_unique<ObjectRecord>();
+        rec->shadow_base = 0x7700000000 + rng.below(1u << 16) * vm::kPageSize;
+        rec->span_length = vm::kPageSize;
+        if (reg.lookup(rec->shadow_base) != nullptr) continue;
+        reg.insert(*rec);
+        live.push_back(std::move(rec));
+      } else {
+        const std::size_t pick = rng.below(live.size());
+        reg.erase(*live[pick]);
+        live[pick] = std::move(live.back());
+        live.pop_back();
+      }
+    }
+    for (auto& rec : live) reg.erase(*rec);
+    stop = true;
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (reg.lookup(0x7600000800) != &anchor) failed = true;
+        if (reg.lookup(0x123000) != nullptr) failed = true;
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& th : readers) th.join();
+  EXPECT_FALSE(failed.load());
+  reg.erase(anchor);
+}
+
+TEST(Concurrency, PoolPerThreadScopes) {
+  // PoolScope stacks are thread-local: concurrent scoped connections must
+  // not interfere, and the shared context free-lists must stay consistent.
+  GuardedPoolContext ctx;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ctx, &failed, t] {
+      for (int conn = 0; conn < 60; ++conn) {
+        PoolScope scope(ctx);
+        if (PoolScope::current() != &scope) failed = true;
+        auto* p = static_cast<int*>(scope.pool().alloc(sizeof(int) * 16));
+        for (int i = 0; i < 16; ++i) p[i] = t * 1000 + conn;
+        for (int i = 0; i < 16; ++i) {
+          if (p[i] != t * 1000 + conn) failed = true;
+        }
+        scope.pool().free(p);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(ctx.recyclable_shadow_bytes(), 0u);
+}
+
+TEST(Concurrency, DetectionsCounterIsAtomic) {
+  vm::PhysArena arena(1u << 28);
+  GuardedHeap heap(arena);
+  const std::uint64_t before = FaultManager::instance().detections();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&heap] {
+      for (int i = 0; i < 25; ++i) {
+        auto* p = static_cast<char*>(heap.malloc(8));
+        heap.free(p);
+        (void)catch_dangling([&] {
+          volatile char c = *p;
+          (void)c;
+        });
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(FaultManager::instance().detections(), before + kThreads * 25);
+}
+
+}  // namespace
+}  // namespace dpg::core

@@ -1,0 +1,156 @@
+// Tests for escape analysis + pool placement.
+#include <gtest/gtest.h>
+
+#include "compiler/escape.h"
+#include "compiler/parser.h"
+#include "pir_programs.h"
+
+namespace dpg::compiler {
+namespace {
+
+const PoolPlacement& only_pool(const EscapeResult& r) {
+  EXPECT_EQ(r.pools.size(), 1u);
+  return r.pools.front();
+}
+
+std::string home_name(const Module& m, const PoolPlacement& p) {
+  return m.functions[static_cast<std::size_t>(p.home_function)].name;
+}
+
+TEST(Escape, Figure1PoolHomedInF) {
+  // The paper: "the data structure pointed to by p never escapes the
+  // function f(), so the transformation inserts code to create a pool PP
+  // within f".
+  const Module m = parse_module(dpg::testing::kFigure1);
+  const PointsToAnalysis pta(m);
+  const EscapeResult result = place_pools(m, pta);
+  const PoolPlacement& pool = only_pool(result);
+  EXPECT_EQ(home_name(m, pool), "f");
+  EXPECT_FALSE(pool.global_lifetime);
+  // g uses the pool but cannot own it (the node escapes via g's parameter).
+  EXPECT_TRUE(pool.users.count(m.function_index.at("g")) > 0);
+}
+
+TEST(Escape, GlobalEscapeForcesMainPool) {
+  const Module m = parse_module(dpg::testing::kGlobalEscape);
+  const PointsToAnalysis pta(m);
+  const EscapeResult result = place_pools(m, pta);
+  const PoolPlacement& pool = only_pool(result);
+  EXPECT_EQ(home_name(m, pool), "main");
+  EXPECT_TRUE(pool.global_lifetime);
+}
+
+TEST(Escape, NonEscapingNodePooledInLeaf) {
+  const Module m = parse_module(dpg::testing::kLocalPool);
+  const PointsToAnalysis pta(m);
+  const EscapeResult result = place_pools(m, pta);
+  const PoolPlacement& pool = only_pool(result);
+  EXPECT_EQ(home_name(m, pool), "leaf");
+  EXPECT_FALSE(pool.global_lifetime);
+}
+
+TEST(Escape, RecursionPushesPoolAboveScc) {
+  const Module m = parse_module(dpg::testing::kRecursive);
+  const PointsToAnalysis pta(m);
+  const EscapeResult result = place_pools(m, pta);
+  const PoolPlacement& pool = only_pool(result);
+  // build() is recursive (non-trivial SCC): the pool must live in main.
+  EXPECT_EQ(home_name(m, pool), "main");
+}
+
+TEST(Escape, TwoIndependentPoolsGetSeparateHomes) {
+  const Module m = parse_module(dpg::testing::kTwoPools);
+  const PointsToAnalysis pta(m);
+  const EscapeResult result = place_pools(m, pta);
+  ASSERT_EQ(result.pools.size(), 2u);
+  std::set<std::string> homes;
+  for (const PoolPlacement& pool : result.pools) {
+    homes.insert(home_name(m, pool));
+  }
+  EXPECT_EQ(homes, (std::set<std::string>{"main", "scratchwork"}));
+}
+
+TEST(Escape, EscapeThroughReturnMovesPoolUp) {
+  const Module m = parse_module(R"(
+func maker() {
+  p = malloc 1
+  ret p
+}
+func main() {
+  q = call maker()
+  v = getfield q, 0
+  out v
+  free q
+  ret
+}
+)");
+  const PointsToAnalysis pta(m);
+  const EscapeResult result = place_pools(m, pta);
+  const PoolPlacement& pool = only_pool(result);
+  // Escapes maker() via return: home must be main.
+  EXPECT_EQ(home_name(m, pool), "main");
+}
+
+TEST(Escape, SharedCalleeDiamondPoolsAtJoinPoint) {
+  const Module m = parse_module(R"(
+func main() {
+  call left()
+  call right()
+  ret
+}
+func left() {
+  p = call shared()
+  free p
+  ret
+}
+func right() {
+  p = call shared()
+  free p
+  ret
+}
+func shared() {
+  p = malloc 1
+  ret p
+}
+)");
+  const PointsToAnalysis pta(m);
+  const EscapeResult result = place_pools(m, pta);
+  const PoolPlacement& pool = only_pool(result);
+  // The node escapes shared() (returned), is used by left and right; the
+  // only function whose subtree covers both users without the node escaping
+  // its own boundary is main.
+  EXPECT_EQ(home_name(m, pool), "main");
+}
+
+TEST(Escape, PoolOfNodeLookupWorks) {
+  const Module m = parse_module(dpg::testing::kFigure1);
+  const PointsToAnalysis pta(m);
+  const EscapeResult result = place_pools(m, pta);
+  const int node = pta.heap_nodes()[0];
+  const PoolPlacement* pool = result.pool_of_node(node);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->node, node);
+  EXPECT_EQ(result.pool_of_node(123456), nullptr);
+}
+
+TEST(Escape, MissingMainThrows) {
+  const Module m = parse_module("func notmain() { ret }");
+  const PointsToAnalysis pta(m);
+  EXPECT_THROW((void)place_pools(m, pta), std::invalid_argument);
+}
+
+TEST(Escape, SitesArePartitionedAcrossPools) {
+  const Module m = parse_module(dpg::testing::kTwoPools);
+  const PointsToAnalysis pta(m);
+  const EscapeResult result = place_pools(m, pta);
+  std::set<std::uint32_t> all_sites;
+  for (const PoolPlacement& pool : result.pools) {
+    for (const std::uint32_t site : pool.sites) {
+      EXPECT_TRUE(all_sites.insert(site).second) << "site in two pools";
+    }
+  }
+  EXPECT_EQ(all_sites.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dpg::compiler

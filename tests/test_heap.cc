@@ -1,0 +1,173 @@
+// Unit tests for the from-scratch segregated-fit heap allocator.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "alloc/heap.h"
+#include "workloads/common.h"
+
+namespace dpg::alloc {
+namespace {
+
+class HeapTest : public ::testing::Test {
+ protected:
+  vm::PhysArena arena_{1u << 26};
+  ArenaSource source_{arena_};
+  SegregatedHeap heap_{source_};
+};
+
+TEST_F(HeapTest, BasicAllocFree) {
+  void* p = heap_.malloc(32);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 32);
+  EXPECT_EQ(heap_.size_of(p), 32u);
+  heap_.free(p);
+}
+
+TEST_F(HeapTest, ZeroSizeBecomesOneByte) {
+  void* p = heap_.malloc(0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(heap_.size_of(p), 1u);
+  heap_.free(p);
+}
+
+TEST_F(HeapTest, DistinctLiveAllocationsDoNotOverlap) {
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 200; ++i) {
+    void* p = heap_.malloc(48);
+    std::memset(p, i, 48);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const auto* bytes = static_cast<const unsigned char*>(ptrs[static_cast<std::size_t>(i)]);
+    for (int b = 0; b < 48; ++b) EXPECT_EQ(bytes[b], i) << "i=" << i;
+  }
+  for (void* p : ptrs) heap_.free(p);
+}
+
+TEST_F(HeapTest, FreedBlockIsReused) {
+  void* p = heap_.malloc(64);
+  heap_.free(p);
+  void* q = heap_.malloc(64);
+  EXPECT_EQ(p, q);  // LIFO free list of the same class
+  heap_.free(q);
+}
+
+TEST_F(HeapTest, SizeOfReflectsRequestNotClass) {
+  void* p = heap_.malloc(33);  // lands in the 48-byte class
+  EXPECT_EQ(heap_.size_of(p), 33u);
+  heap_.free(p);
+}
+
+TEST_F(HeapTest, LargeAllocationsWork) {
+  const std::size_t size = 3 * vm::kPageSize + 17;
+  auto* p = static_cast<char*>(heap_.malloc(size));
+  ASSERT_NE(p, nullptr);
+  p[0] = 'a';
+  p[size - 1] = 'z';
+  EXPECT_EQ(heap_.size_of(p), size);
+  heap_.free(p);
+}
+
+TEST_F(HeapTest, LargeRunsAreCachedAndReused) {
+  void* p = heap_.malloc(2 * vm::kPageSize);
+  heap_.free(p);
+  void* q = heap_.malloc(2 * vm::kPageSize);
+  EXPECT_EQ(p, q);
+  heap_.free(q);
+}
+
+TEST_F(HeapTest, DoubleFreeThrows) {
+  void* p = heap_.malloc(16);
+  heap_.free(p);
+  EXPECT_THROW(heap_.free(p), std::logic_error);
+}
+
+TEST_F(HeapTest, FreeNullIsNoop) {
+  EXPECT_NO_THROW(heap_.free(nullptr));
+}
+
+TEST_F(HeapTest, StatsTrackAllocationsAndFrees) {
+  void* a = heap_.malloc(10);
+  void* b = heap_.malloc(20);
+  heap_.free(a);
+  const HeapStats stats = heap_.stats();
+  EXPECT_EQ(stats.allocations, 2u);
+  EXPECT_EQ(stats.frees, 1u);
+  EXPECT_EQ(stats.live_objects, 1u);
+  EXPECT_EQ(stats.bytes_requested, 30u);
+  heap_.free(b);
+}
+
+TEST_F(HeapTest, ManySizesStress) {
+  workloads::Rng rng(42);
+  std::map<void*, std::pair<std::size_t, unsigned char>> live;
+  for (int round = 0; round < 5000; ++round) {
+    if (live.size() < 100 || rng.below(2) == 0) {
+      const std::size_t size = 1 + rng.below(6000);
+      auto* p = static_cast<unsigned char*>(heap_.malloc(size));
+      const auto fill = static_cast<unsigned char>(rng.below(256));
+      std::memset(p, fill, size);
+      ASSERT_TRUE(live.emplace(p, std::make_pair(size, fill)).second)
+          << "allocator returned a live pointer";
+      EXPECT_EQ(heap_.size_of(p), size);
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.below(live.size())));
+      const auto [size, fill] = it->second;
+      const auto* bytes = static_cast<const unsigned char*>(it->first);
+      // Contents must be intact: no overlap with any other allocation.
+      EXPECT_EQ(bytes[0], fill);
+      EXPECT_EQ(bytes[size - 1], fill);
+      heap_.free(it->first);
+      live.erase(it);
+    }
+  }
+  for (auto& [p, meta] : live) heap_.free(p);
+  EXPECT_EQ(heap_.stats().live_objects, 0u);
+}
+
+TEST_F(HeapTest, PhysicalFootprintStaysBoundedUnderReuse) {
+  // Allocate/free the same size in a loop: the arena must not grow per
+  // iteration (physical reuse through the class free list).
+  void* warm = heap_.malloc(128);
+  heap_.free(warm);
+  const std::size_t before = arena_.physical_bytes();
+  for (int i = 0; i < 10000; ++i) {
+    void* p = heap_.malloc(128);
+    heap_.free(p);
+  }
+  EXPECT_EQ(arena_.physical_bytes(), before);
+}
+
+TEST(HeapClassBoundaries, EveryBoundarySizeRoundTrips) {
+  vm::PhysArena arena(1u << 26);
+  ArenaSource source(arena);
+  SegregatedHeap heap(source);
+  for (std::size_t size :
+       {1u, 15u, 16u, 17u, 31u, 32u, 48u, 64u, 96u, 128u, 192u, 256u, 384u,
+        512u, 768u, 1024u, 1520u, 1521u, 2032u, 2033u, 4080u, 4081u, 8192u}) {
+    auto* p = static_cast<unsigned char*>(heap.malloc(size));
+    ASSERT_NE(p, nullptr) << size;
+    p[0] = 1;
+    p[size - 1] = 2;
+    EXPECT_EQ(heap.size_of(p), size);
+    heap.free(p);
+  }
+}
+
+TEST(MmapSourceTest, ObtainsAndRecyclesRanges) {
+  MmapSource source;
+  const vm::PageRange a = source.obtain(vm::kPageSize);
+  EXPECT_EQ(a.length, vm::kPageSize);
+  auto* p = reinterpret_cast<char*>(a.base);
+  p[0] = 'x';  // writable
+  source.recycle(a);
+  const vm::PageRange b = source.obtain(vm::kPageSize);
+  EXPECT_EQ(b.base, a.base);  // recycled
+}
+
+}  // namespace
+}  // namespace dpg::alloc

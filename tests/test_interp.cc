@@ -1,0 +1,254 @@
+// Tests for the PIR interpreter.
+#include <gtest/gtest.h>
+
+#include "compiler/interp.h"
+#include "compiler/parser.h"
+#include "core/fault_manager.h"
+#include "pir_programs.h"
+
+namespace dpg::compiler {
+namespace {
+
+std::vector<std::uint64_t> run_guarded(const char* src,
+                                       std::vector<std::uint64_t> args = {}) {
+  const Module m = parse_module(src);
+  Interpreter interp(m, {.backend = Backend::kGuarded});
+  return interp.run(args).output;
+}
+
+TEST(Interp, ArithmeticAndOut) {
+  const auto out = run_guarded(R"(
+func main() {
+  a = const 6
+  b = const 7
+  c = mul a, b
+  out c
+  d = sub c, a
+  out d
+  ret
+}
+)");
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{42, 36}));
+}
+
+TEST(Interp, ComparisonsAndBranches) {
+  const auto out = run_guarded(R"(
+func main() {
+  a = const 3
+  b = const 5
+  c = lt a, b
+  out c
+  d = eq a, b
+  out d
+  e = eq a, a
+  out e
+  ret
+}
+)");
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 0, 1}));
+}
+
+TEST(Interp, LoopSumsToHundred) {
+  const auto out = run_guarded(R"(
+func main() {
+  i = const 0
+  sum = const 0
+loop:
+  hundred = const 100
+  c = lt i, hundred
+  cbr c, body, done
+body:
+  sum = add sum, i
+  one = const 1
+  i = add i, one
+  br loop
+done:
+  out sum
+  ret
+}
+)");
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{4950}));
+}
+
+TEST(Interp, CallsPassArgsAndReturn) {
+  const auto out = run_guarded(R"(
+func add3(a, b, c) {
+  s = add a, b
+  s = add s, c
+  ret s
+}
+func main() {
+  x = const 1
+  y = const 2
+  z = const 3
+  r = call add3(x, y, z)
+  out r
+  ret
+}
+)");
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{6}));
+}
+
+TEST(Interp, MainArgsBind) {
+  const Module m = parse_module(R"(
+func main(a, b) {
+  s = add a, b
+  out s
+  ret
+}
+)");
+  Interpreter interp(m, {.backend = Backend::kGuarded});
+  EXPECT_EQ(interp.run({40, 2}).output, (std::vector<std::uint64_t>{42}));
+}
+
+TEST(Interp, HeapFieldsReadBackWhatWasStored) {
+  const auto out = run_guarded(R"(
+func main() {
+  p = malloc 3
+  a = const 10
+  b = const 20
+  setfield p, 0, a
+  setfield p, 2, b
+  x = getfield p, 0
+  y = getfield p, 2
+  out x
+  out y
+  free p
+  ret
+}
+)");
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{10, 20}));
+}
+
+TEST(Interp, FreshAllocationsAreZeroed) {
+  const auto out = run_guarded(R"(
+func main() {
+  p = malloc 2
+  v = getfield p, 1
+  out v
+  free p
+  ret
+}
+)");
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{0}));
+}
+
+TEST(Interp, NativeAndGuardedAgreeOnCleanPrograms) {
+  for (const char* src :
+       {dpg::testing::kFigure1Fixed, dpg::testing::kLocalPool,
+        dpg::testing::kRecursive, dpg::testing::kTwoPools}) {
+    const Module m1 = parse_module(src);
+    const Module m2 = parse_module(src);
+    Interpreter native(m1, {.backend = Backend::kNative});
+    Interpreter guarded(m2, {.backend = Backend::kGuarded});
+    EXPECT_EQ(native.run().output, guarded.run().output);
+  }
+}
+
+TEST(Interp, DanglingUseUnderGuardedBackendTraps) {
+  const Module m = parse_module(R"(
+func main() {
+  p = malloc 1
+  free p
+  v = getfield p, 0
+  out v
+  ret
+}
+)");
+  Interpreter interp(m, {.backend = Backend::kGuarded});
+  const auto report = core::catch_dangling([&] { (void)interp.run(); });
+  EXPECT_TRUE(report.has_value());
+}
+
+TEST(Interp, DoubleFreeUnderGuardedBackendReported) {
+  const Module m = parse_module(R"(
+func main() {
+  p = malloc 1
+  free p
+  free p
+  ret
+}
+)");
+  Interpreter interp(m, {.backend = Backend::kGuarded});
+  const auto report = core::catch_dangling([&] { (void)interp.run(); });
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->kind, core::AccessKind::kFree);
+}
+
+TEST(Interp, MissingMainThrows) {
+  const Module m = parse_module("func helper() { ret }");
+  Interpreter interp(m, {.backend = Backend::kGuarded});
+  EXPECT_THROW((void)interp.run(), InterpError);
+}
+
+TEST(Interp, UnknownCalleeRejectedByVerifier) {
+  const Module m = parse_module("func main() { call ghost()\n ret }");
+  EXPECT_THROW(Interpreter(m, {.backend = Backend::kGuarded}), InterpError);
+}
+
+TEST(Interp, UnknownCalleeThrowsAtRunWhenUnverified) {
+  const Module m = parse_module("func main() { call ghost()\n ret }");
+  Interpreter interp(m, {.backend = Backend::kGuarded, .verify = false});
+  EXPECT_THROW((void)interp.run(), InterpError);
+}
+
+TEST(Interp, StepBudgetStopsRunaways) {
+  const Module m = parse_module(R"(
+func main() {
+spin:
+  br spin
+}
+)");
+  Interpreter interp(m, {.backend = Backend::kGuarded, .max_steps = 1000});
+  EXPECT_THROW((void)interp.run(), InterpError);
+}
+
+TEST(Interp, DepthLimitStopsInfiniteRecursion) {
+  const Module m = parse_module(R"(
+func main() {
+  call main()
+  ret
+}
+)");
+  Interpreter interp(m, {.backend = Backend::kGuarded, .max_depth = 50});
+  EXPECT_THROW((void)interp.run(), InterpError);
+}
+
+TEST(Interp, NativeDoubleFreeReportedAsError) {
+  const Module m = parse_module(R"(
+func main() {
+  p = malloc 1
+  free p
+  free p
+  ret
+}
+)");
+  Interpreter interp(m, {.backend = Backend::kNative});
+  EXPECT_THROW((void)interp.run(), InterpError);
+}
+
+TEST(Interp, FallOffEndReturnsZero) {
+  const auto out = run_guarded(R"(
+func sub() {
+  x = const 5
+  out x
+}
+func main() {
+  r = call sub()
+  out r
+  ret
+}
+)");
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{5, 0}));
+}
+
+TEST(Interp, RunTwiceIsRepeatable) {
+  const Module m = parse_module(dpg::testing::kLocalPool);
+  Interpreter interp(m, {.backend = Backend::kGuarded});
+  const auto first = interp.run().output;
+  const auto second = interp.run().output;
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace dpg::compiler

@@ -1,0 +1,194 @@
+// Tests for the PIR parser.
+#include <gtest/gtest.h>
+
+#include "compiler/parser.h"
+#include "pir_programs.h"
+
+namespace dpg::compiler {
+namespace {
+
+TEST(Parser, ParsesFigure1) {
+  const Module m = parse_module(dpg::testing::kFigure1);
+  EXPECT_EQ(m.functions.size(), 3u);
+  ASSERT_NE(m.find("main"), nullptr);
+  ASSERT_NE(m.find("f"), nullptr);
+  ASSERT_NE(m.find("g"), nullptr);
+  EXPECT_EQ(m.find("g")->params.size(), 1u);
+}
+
+TEST(Parser, GlobalsAreIndexed) {
+  const Module m = parse_module("global a\nglobal b\nfunc main() { ret }");
+  EXPECT_EQ(m.globals.size(), 2u);
+  EXPECT_EQ(m.global_index("a"), 0);
+  EXPECT_EQ(m.global_index("b"), 1);
+  EXPECT_EQ(m.global_index("c"), -1);
+}
+
+TEST(Parser, CommentsAndWhitespaceIgnored) {
+  const Module m = parse_module(R"(
+# leading comment
+func main() {   # trailing comment
+  x = const 5   # another
+  out x
+  ret
+}
+)");
+  EXPECT_EQ(m.find("main")->body.size(), 3u);
+}
+
+TEST(Parser, LiteralMallocMaterializesConst) {
+  const Module m = parse_module("func main() { p = malloc 3\n free p\n ret }");
+  const Function& fn = *m.find("main");
+  ASSERT_EQ(fn.body.size(), 4u);  // const, malloc, free, ret
+  EXPECT_EQ(fn.body[0].op, Op::kConst);
+  EXPECT_EQ(fn.body[0].imm, 3);
+  EXPECT_EQ(fn.body[1].op, Op::kMalloc);
+  EXPECT_EQ(fn.body[1].a, fn.body[0].dst);
+}
+
+TEST(Parser, RegisterMallocKeepsRegister) {
+  const Module m =
+      parse_module("func main() { n = const 4\n p = malloc n\n ret }");
+  const Function& fn = *m.find("main");
+  ASSERT_EQ(fn.body.size(), 3u);
+  EXPECT_EQ(fn.body[1].op, Op::kMalloc);
+}
+
+TEST(Parser, BranchTargetsResolve) {
+  const Module m = parse_module(R"(
+func main() {
+  i = const 0
+top:
+  one = const 1
+  i = add i, one
+  ten = const 10
+  c = lt i, ten
+  cbr c, top, done
+done:
+  ret
+}
+)");
+  const Function& fn = *m.find("main");
+  const Instr& cbr = fn.body[5];
+  ASSERT_EQ(cbr.op, Op::kCbr);
+  EXPECT_EQ(cbr.target, 1);   // "top" is instruction index 1
+  EXPECT_EQ(cbr.target2, 6);  // "done" is the ret
+}
+
+TEST(Parser, RetWithAndWithoutValue) {
+  const Module m = parse_module(R"(
+func id(x) { ret x }
+func main() { v = call id(v0)
+  out v
+  ret }
+)");
+  EXPECT_GE(m.find("id")->body.size(), 1u);
+  EXPECT_EQ(m.find("id")->body[0].op, Op::kRet);
+  EXPECT_GE(m.find("id")->body[0].a, 0);
+  const auto& main_body = m.find("main")->body;
+  EXPECT_EQ(main_body.back().op, Op::kRet);
+  EXPECT_EQ(main_body.back().a, -1);
+}
+
+TEST(Parser, BareRetBeforeStatementDoesNotConsumeIt) {
+  const Module m = parse_module(R"(
+func main() {
+  x = const 1
+  ret
+}
+)");
+  ASSERT_EQ(m.find("main")->body.size(), 2u);
+  EXPECT_EQ(m.find("main")->body[1].op, Op::kRet);
+  EXPECT_EQ(m.find("main")->body[1].a, -1);
+}
+
+TEST(Parser, CallStatementAndExpression) {
+  const Module m = parse_module(R"(
+func helper(a, b) { s = add a, b
+  ret s }
+func main() {
+  x = const 1
+  y = const 2
+  call helper(x, y)
+  z = call helper(x, y)
+  out z
+  ret
+}
+)");
+  const auto& body = m.find("main")->body;
+  EXPECT_EQ(body[2].op, Op::kCall);
+  EXPECT_EQ(body[2].dst, -1);
+  EXPECT_EQ(body[3].op, Op::kCall);
+  EXPECT_GE(body[3].dst, 0);
+  EXPECT_EQ(body[3].args.size(), 2u);
+}
+
+TEST(Parser, SiteIdsAreUniqueAndSequential) {
+  const Module m = parse_module(R"(
+func main() {
+  p = malloc 1
+  q = malloc 1
+  free p
+  free q
+  ret
+}
+)");
+  const auto& body = m.find("main")->body;
+  // body: const, malloc, const, malloc, free, free, ret
+  EXPECT_EQ(body[1].site, 1u);
+  EXPECT_EQ(body[3].site, 2u);
+  EXPECT_EQ(body[4].site, 3u);
+  EXPECT_EQ(body[5].site, 4u);
+}
+
+TEST(Parser, ErrorOnUnknownOperation) {
+  EXPECT_THROW(parse_module("func main() { x = frobnicate y\n ret }"),
+               ParseError);
+}
+
+TEST(Parser, ErrorOnUndefinedLabel) {
+  EXPECT_THROW(parse_module("func main() { br nowhere\n ret }"), ParseError);
+}
+
+TEST(Parser, ErrorOnUnknownGlobal) {
+  EXPECT_THROW(parse_module("func main() { x = loadg nope\n ret }"),
+               ParseError);
+}
+
+TEST(Parser, ErrorOnGarbageTopLevel) {
+  EXPECT_THROW(parse_module("banana"), ParseError);
+}
+
+TEST(Parser, ErrorReportsLineNumber) {
+  try {
+    parse_module("func main() {\n  x = bogus y\n  ret\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Parser, NegativeConstants) {
+  const Module m = parse_module("func main() { x = const -5\n out x\n ret }");
+  EXPECT_EQ(m.find("main")->body[0].imm, -5);
+}
+
+TEST(Parser, DumpContainsStructure) {
+  const Module m = parse_module(dpg::testing::kFigure1);
+  const std::string text = m.dump();
+  EXPECT_NE(text.find("func f()"), std::string::npos);
+  EXPECT_NE(text.find("malloc"), std::string::npos);
+  EXPECT_NE(text.find("getfield"), std::string::npos);
+}
+
+TEST(Parser, AllSampleProgramsParse) {
+  for (const char* src :
+       {dpg::testing::kFigure1, dpg::testing::kFigure1Fixed,
+        dpg::testing::kGlobalEscape, dpg::testing::kLocalPool,
+        dpg::testing::kRecursive, dpg::testing::kTwoPools}) {
+    EXPECT_NO_THROW((void)parse_module(src));
+  }
+}
+
+}  // namespace
+}  // namespace dpg::compiler

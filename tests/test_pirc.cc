@@ -1,0 +1,95 @@
+// End-to-end tests for the pirc command-line driver.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#ifndef DPG_PIRC_BIN
+#error "DPG_PIRC_BIN must be defined by the build"
+#endif
+#ifndef DPG_PIR_DIR
+#error "DPG_PIR_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // combined stdout+stderr
+};
+
+RunResult run_pirc(const std::string& args) {
+  const std::string cmd = std::string(DPG_PIRC_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  RunResult result;
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buf;
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    result.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+const std::string kFigure1 = std::string(DPG_PIR_DIR) + "/figure1.pir";
+const std::string kSumtree = std::string(DPG_PIR_DIR) + "/sumtree.pir";
+
+TEST(Pirc, Figure1DetectsDanglingAndExits42) {
+  const RunResult r = run_pirc(kFigure1);
+  EXPECT_EQ(r.exit_code, 42) << r.output;
+  EXPECT_NE(r.output.find("dangling read"), std::string::npos) << r.output;
+}
+
+TEST(Pirc, Figure1TransformShowsPoolCalls) {
+  const RunResult r = run_pirc("--transform " + kFigure1);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("poolinit"), std::string::npos);
+  EXPECT_NE(r.output.find("poolalloc"), std::string::npos);
+  EXPECT_NE(r.output.find("pooldestroy"), std::string::npos);
+}
+
+TEST(Pirc, Figure1PoolsSummary) {
+  const RunResult r = run_pirc("--pools " + kFigure1);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("home=f"), std::string::npos) << r.output;
+}
+
+TEST(Pirc, SumtreeRunsGuardedWithArgs) {
+  const RunResult r = run_pirc(kSumtree + " -- 6");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // Depth-6 tree: sum over nodes of their depth label d.
+  // levels d=6..1 have 1,2,4,8,16,32 nodes -> sum d*2^(6-d) = 120.
+  EXPECT_NE(r.output.find("120"), std::string::npos) << r.output;
+}
+
+TEST(Pirc, SumtreeNativeMatchesGuarded) {
+  const RunResult guarded = run_pirc(kSumtree + " -- 5");
+  const RunResult native = run_pirc("--native " + kSumtree + " -- 5");
+  EXPECT_EQ(guarded.exit_code, 0);
+  EXPECT_EQ(native.exit_code, 0);
+  EXPECT_EQ(guarded.output, native.output);
+}
+
+TEST(Pirc, DumpPrintsModule) {
+  const RunResult r = run_pirc("--dump " + kSumtree);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("func build"), std::string::npos);
+  EXPECT_EQ(r.output.find("poolinit"), std::string::npos);  // untransformed
+}
+
+TEST(Pirc, MissingFileFails) {
+  const RunResult r = run_pirc("/nonexistent.pir");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(Pirc, UsageOnBadFlag) {
+  const RunResult r = run_pirc("--bogus " + kSumtree);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage"), std::string::npos);
+}
+
+}  // namespace

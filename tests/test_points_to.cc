@@ -1,0 +1,173 @@
+// Tests for the Steensgaard points-to analysis.
+#include <gtest/gtest.h>
+
+#include "compiler/parser.h"
+#include "compiler/points_to.h"
+#include "pir_programs.h"
+
+namespace dpg::compiler {
+namespace {
+
+int fn_index(const Module& m, const char* name) {
+  return m.function_index.at(name);
+}
+
+int reg_index(const Function& fn, const char* name) {
+  for (int r = 0; r < fn.num_regs(); ++r) {
+    if (fn.reg_names[static_cast<std::size_t>(r)] == name) return r;
+  }
+  ADD_FAILURE() << "no register " << name;
+  return -1;
+}
+
+TEST(PointsTo, ListNodesUnifyIntoOneNode) {
+  const Module m = parse_module(dpg::testing::kFigure1);
+  const PointsToAnalysis pta(m);
+  // Both malloc sites feed the same linked structure: one heap node.
+  EXPECT_EQ(pta.heap_nodes().size(), 1u);
+  const int node = pta.heap_nodes()[0];
+  EXPECT_EQ(pta.sites_of(node).size(), 2u);
+}
+
+TEST(PointsTo, IndependentStructuresStayDistinct) {
+  const Module m = parse_module(dpg::testing::kTwoPools);
+  const PointsToAnalysis pta(m);
+  EXPECT_EQ(pta.heap_nodes().size(), 2u);
+}
+
+TEST(PointsTo, CopyUnifiesVariables) {
+  const Module m = parse_module(R"(
+func main() {
+  p = malloc 1
+  q = copy p
+  free q
+  ret
+}
+)");
+  const PointsToAnalysis pta(m);
+  const Function& fn = *m.find("main");
+  const int f = fn_index(m, "main");
+  const int p = pta.pointee_node(pta.var_element(f, reg_index(fn, "p")));
+  const int q = pta.pointee_node(pta.var_element(f, reg_index(fn, "q")));
+  ASSERT_GE(p, 0);
+  EXPECT_EQ(p, q);
+}
+
+TEST(PointsTo, FieldLoadSeesStoredPointer) {
+  const Module m = parse_module(R"(
+func main() {
+  a = malloc 1
+  b = malloc 1
+  setfield a, 0, b
+  c = getfield a, 0
+  free c
+  free a
+  ret
+}
+)");
+  const PointsToAnalysis pta(m);
+  const Function& fn = *m.find("main");
+  const int f = fn_index(m, "main");
+  const int b = pta.pointee_node(pta.var_element(f, reg_index(fn, "b")));
+  const int c = pta.pointee_node(pta.var_element(f, reg_index(fn, "c")));
+  ASSERT_GE(b, 0);
+  EXPECT_EQ(b, c);
+  // a and b remain distinct nodes (a's fields point to b's node).
+  const int a = pta.pointee_node(pta.var_element(f, reg_index(fn, "a")));
+  EXPECT_NE(a, b);
+}
+
+TEST(PointsTo, CallBindsArgsAndReturn) {
+  const Module m = parse_module(R"(
+func mk() {
+  p = malloc 1
+  ret p
+}
+func main() {
+  q = call mk()
+  free q
+  ret
+}
+)");
+  const PointsToAnalysis pta(m);
+  const int mk = fn_index(m, "mk");
+  const int mn = fn_index(m, "main");
+  const int p_node = pta.pointee_node(
+      pta.var_element(mk, reg_index(*m.find("mk"), "p")));
+  const int q_node = pta.pointee_node(
+      pta.var_element(mn, reg_index(*m.find("main"), "q")));
+  ASSERT_GE(p_node, 0);
+  EXPECT_EQ(p_node, q_node);
+  // And the return element agrees.
+  EXPECT_EQ(pta.pointee_node(pta.ret_element(mk)), p_node);
+}
+
+TEST(PointsTo, GlobalEscapeIsVisible) {
+  const Module m = parse_module(dpg::testing::kGlobalEscape);
+  const PointsToAnalysis pta(m);
+  ASSERT_EQ(pta.heap_nodes().size(), 1u);
+  EXPECT_TRUE(pta.reachable_from_global(pta.heap_nodes()[0]));
+}
+
+TEST(PointsTo, LocalNodeNotGlobalReachable) {
+  const Module m = parse_module(dpg::testing::kLocalPool);
+  const PointsToAnalysis pta(m);
+  ASSERT_EQ(pta.heap_nodes().size(), 1u);
+  EXPECT_FALSE(pta.reachable_from_global(pta.heap_nodes()[0]));
+}
+
+TEST(PointsTo, NodeOfSiteResolvesEverySite) {
+  const Module m = parse_module(dpg::testing::kFigure1);
+  const PointsToAnalysis pta(m);
+  const int node = pta.heap_nodes()[0];
+  for (const std::uint32_t site : pta.sites_of(node)) {
+    EXPECT_EQ(pta.node_of_site(site), node);
+  }
+  EXPECT_EQ(pta.node_of_site(9999), -1);
+}
+
+TEST(PointsTo, CollectReachableWalksChains) {
+  const Module m = parse_module(R"(
+func main() {
+  outer = malloc 1
+  inner = malloc 1
+  setfield outer, 0, inner
+  free inner
+  free outer
+  ret
+}
+)");
+  const PointsToAnalysis pta(m);
+  const Function& fn = *m.find("main");
+  const int f = fn_index(m, "main");
+  std::set<int> reachable;
+  pta.collect_reachable(pta.var_element(f, reg_index(fn, "outer")), reachable);
+  EXPECT_EQ(reachable.size(), 2u);  // outer's node AND inner's node
+}
+
+TEST(PointsTo, ArithmeticPreservesAliasing) {
+  const Module m = parse_module(R"(
+func main() {
+  p = malloc 1
+  one = const 1
+  q = add p, one
+  free p
+  ret
+}
+)");
+  const PointsToAnalysis pta(m);
+  const Function& fn = *m.find("main");
+  const int f = fn_index(m, "main");
+  const int p = pta.pointee_node(pta.var_element(f, reg_index(fn, "p")));
+  const int q = pta.pointee_node(pta.var_element(f, reg_index(fn, "q")));
+  EXPECT_EQ(p, q);
+}
+
+TEST(PointsTo, RecursiveStructureTerminates) {
+  const Module m = parse_module(dpg::testing::kRecursive);
+  const PointsToAnalysis pta(m);
+  EXPECT_EQ(pta.heap_nodes().size(), 1u);  // self-referential tree node
+}
+
+}  // namespace
+}  // namespace dpg::compiler

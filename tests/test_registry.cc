@@ -1,0 +1,157 @@
+// Unit tests for the async-signal-safe shadow registry.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/registry.h"
+#include "workloads/common.h"
+
+namespace dpg::core {
+namespace {
+
+std::unique_ptr<ObjectRecord> make_record(std::uintptr_t base,
+                                           std::size_t pages) {
+  auto rec = std::make_unique<ObjectRecord>();
+  rec->shadow_base = base;
+  rec->span_length = pages * vm::kPageSize;
+  rec->user_shadow = base + 8;
+  rec->user_size = 24;
+  return rec;
+}
+
+TEST(Registry, InsertAndLookupSinglePage) {
+  ShadowRegistry reg(64);
+  auto rec = make_record(0x7000000000, 1);
+  reg.insert(*rec);
+  EXPECT_EQ(reg.lookup(0x7000000000), rec.get());
+  EXPECT_EQ(reg.lookup(0x7000000FFF), rec.get());  // interior address, same page
+  EXPECT_EQ(reg.lookup(0x7000001000), nullptr);
+  EXPECT_EQ(reg.entries(), 1u);
+  reg.erase(*rec);
+}
+
+TEST(Registry, MultiPageSpanMapsEveryPage) {
+  ShadowRegistry reg(64);
+  auto rec = make_record(0x7000010000, 3);
+  reg.insert(*rec);
+  EXPECT_EQ(reg.lookup(0x7000010000), rec.get());
+  EXPECT_EQ(reg.lookup(0x7000011800), rec.get());
+  EXPECT_EQ(reg.lookup(0x7000012FFF), rec.get());
+  EXPECT_EQ(reg.lookup(0x7000013000), nullptr);
+  EXPECT_EQ(reg.entries(), 3u);
+  reg.erase(*rec);
+  EXPECT_EQ(reg.entries(), 0u);
+}
+
+TEST(Registry, EraseRemovesOnlyTargetSpan) {
+  ShadowRegistry reg(64);
+  auto a = make_record(0x7000020000, 1);
+  auto b = make_record(0x7000021000, 1);
+  reg.insert(*a);
+  reg.insert(*b);
+  reg.erase(*a);
+  EXPECT_EQ(reg.lookup(0x7000020000), nullptr);
+  EXPECT_EQ(reg.lookup(0x7000021000), b.get());
+  reg.erase(*b);
+}
+
+TEST(Registry, EraseIsIdempotent) {
+  ShadowRegistry reg(64);
+  auto rec = make_record(0x7000030000, 1);
+  reg.insert(*rec);
+  reg.erase(*rec);
+  EXPECT_NO_FATAL_FAILURE(reg.erase(*rec));
+  EXPECT_EQ(reg.lookup(0x7000030000), nullptr);
+}
+
+TEST(Registry, ReinsertAfterEraseWorks) {
+  ShadowRegistry reg(64);
+  auto a = make_record(0x7000040000, 1);
+  reg.insert(*a);
+  reg.erase(*a);
+  auto b = make_record(0x7000040000, 1);  // same page, new record
+  reg.insert(*b);
+  EXPECT_EQ(reg.lookup(0x7000040000), b.get());
+  reg.erase(*b);
+}
+
+TEST(Registry, UpdateExistingKeyReplacesValue) {
+  ShadowRegistry reg(64);
+  auto a = make_record(0x7000050000, 1);
+  auto b = make_record(0x7000050000, 1);
+  reg.insert(*a);
+  reg.insert(*b);  // same page: value replaced
+  EXPECT_EQ(reg.lookup(0x7000050000), b.get());
+  reg.erase(*b);
+}
+
+TEST(Registry, GrowthPreservesAllEntries) {
+  ShadowRegistry reg(16);  // tiny: forces many rehashes
+  std::vector<std::unique_ptr<ObjectRecord>> records;
+  for (std::uintptr_t i = 0; i < 5000; ++i) {
+    auto rec = make_record(0x7100000000 + i * vm::kPageSize, 1);
+    reg.insert(*rec);
+    records.push_back(std::move(rec));
+  }
+  EXPECT_EQ(reg.entries(), 5000u);
+  for (std::uintptr_t i = 0; i < 5000; ++i) {
+    EXPECT_EQ(reg.lookup(0x7100000000 + i * vm::kPageSize),
+              records[static_cast<std::size_t>(i)].get())
+        << i;
+  }
+  for (auto& rec : records) reg.erase(*rec);
+  EXPECT_EQ(reg.entries(), 0u);
+}
+
+TEST(Registry, TombstoneChurnDoesNotLoseEntries) {
+  ShadowRegistry reg(32);
+  workloads::Rng rng(99);
+  std::vector<std::unique_ptr<ObjectRecord>> live;
+  for (int round = 0; round < 4000; ++round) {
+    if (live.size() < 20 || rng.below(2) == 0) {
+      auto rec = make_record(
+          0x7200000000 + rng.below(1u << 20) * vm::kPageSize, 1);
+      // Avoid duplicate pages in this test.
+      if (reg.lookup(rec->shadow_base) != nullptr) continue;
+      reg.insert(*rec);
+      live.push_back(std::move(rec));
+    } else {
+      const std::size_t pick = rng.below(live.size());
+      reg.erase(*live[pick]);
+      EXPECT_EQ(reg.lookup(live[pick]->shadow_base), nullptr);
+      live[pick] = std::move(live.back());
+      live.pop_back();
+    }
+  }
+  for (auto& rec : live) {
+    EXPECT_EQ(reg.lookup(rec->shadow_base), rec.get());
+    reg.erase(*rec);
+  }
+}
+
+TEST(Registry, LookupMissOnEmptyRegistry) {
+  ShadowRegistry reg(64);
+  EXPECT_EQ(reg.lookup(0xDEADBEEF000), nullptr);
+}
+
+TEST(Registry, GlobalSingletonIsStable) {
+  ShadowRegistry& a = ShadowRegistry::global();
+  ShadowRegistry& b = ShadowRegistry::global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Registry, StateTransitionsVisibleThroughLookup) {
+  ShadowRegistry reg(64);
+  auto rec = make_record(0x7000060000, 1);
+  reg.insert(*rec);
+  const ObjectRecord* found = reg.lookup(0x7000060100);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->state.load(), ObjectState::kLive);
+  rec->state.store(ObjectState::kFreed);
+  EXPECT_EQ(found->state.load(), ObjectState::kFreed);
+  reg.erase(*rec);
+}
+
+}  // namespace
+}  // namespace dpg::core

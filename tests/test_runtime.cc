@@ -1,0 +1,70 @@
+// Tests for the Runtime facade, drop-in entry points, and the §3.4
+// address-space arithmetic.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/fault_manager.h"
+#include "core/runtime.h"
+
+namespace dpg::core {
+namespace {
+
+TEST(Runtime, InstanceIsSingleton) {
+  Runtime& a = Runtime::instance();
+  Runtime& b = Runtime::instance();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Runtime, DropInMallocFreeWork) {
+  auto* p = static_cast<char*>(dpg_malloc(128));
+  ASSERT_NE(p, nullptr);
+  std::strcpy(p, "drop-in");
+  EXPECT_STREQ(p, "drop-in");
+  dpg_free(p);
+  const auto report = catch_dangling([&] {
+    volatile char c = p[0];
+    (void)c;
+  });
+  EXPECT_TRUE(report.has_value());
+}
+
+TEST(Runtime, DropInDetectsDoubleFree) {
+  void* p = dpg_malloc(16);
+  dpg_free(p);
+  const auto report = catch_dangling([&] { dpg_free(p); });
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->kind, AccessKind::kFree);
+}
+
+TEST(Runtime, VaExhaustionArithmeticMatchesPaper) {
+  // "even an extreme program that allocates a new 4K-page-size object every
+  //  microsecond, with no reuse of these pages, can operate for 9 hours
+  //  before running out of virtual pages (2^47 / (2^12 * 10^6 * 86,400))".
+  const double seconds = Runtime::seconds_until_va_exhaustion(1e6, 47);
+  const double hours = seconds / 3600.0;
+  EXPECT_NEAR(hours, 9.54, 0.1);  // 2^47 / (4096 * 1e6) seconds = 9.54 h
+  EXPECT_GT(hours, 9.0);          // the paper's "at least 9 hours"
+}
+
+TEST(Runtime, VaExhaustionScalesWithRate) {
+  const double fast = Runtime::seconds_until_va_exhaustion(1e6, 47);
+  const double slow = Runtime::seconds_until_va_exhaustion(1e3, 47);
+  EXPECT_NEAR(slow / fast, 1000.0, 1e-6);
+  // A typical server (say 100 allocations/second) runs for a decade+.
+  const double typical = Runtime::seconds_until_va_exhaustion(100, 47);
+  EXPECT_GT(typical / (3600.0 * 24 * 365), 10.0);
+}
+
+TEST(Runtime, HeapStatsAccumulate) {
+  Runtime& rt = Runtime::instance();
+  const GuardStats before = rt.heap().stats();
+  void* p = rt.heap().malloc(64);
+  rt.heap().free(p);
+  const GuardStats after = rt.heap().stats();
+  EXPECT_EQ(after.allocations, before.allocations + 1);
+  EXPECT_EQ(after.frees, before.frees + 1);
+}
+
+}  // namespace
+}  // namespace dpg::core

@@ -1,0 +1,236 @@
+// Tests for the Automatic Pool Allocation transformation (Figure 1 ->
+// Figure 2) and its structural guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "compiler/interp.h"
+#include "compiler/parser.h"
+#include "compiler/pool_transform.h"
+#include "core/fault_manager.h"
+#include "pir_programs.h"
+
+namespace dpg::compiler {
+namespace {
+
+int count_ops(const Function& fn, Op op) {
+  return static_cast<int>(
+      std::count_if(fn.body.begin(), fn.body.end(),
+                    [op](const Instr& i) { return i.op == op; }));
+}
+
+TEST(Transform, Figure1MatchesFigure2Structure) {
+  const Module m = parse_module(dpg::testing::kFigure1);
+  const TransformResult result = pool_allocate(m);
+  const Function& f = *result.module.find("f");
+  const Function& g = *result.module.find("g");
+
+  // f: poolinit at entry, pooldestroy before ret (paper Figure 2).
+  EXPECT_EQ(count_ops(f, Op::kPoolInit), 1);
+  EXPECT_EQ(count_ops(f, Op::kPoolDestroy), 1);
+  EXPECT_EQ(f.body.front().op, Op::kPoolInit);
+
+  // All mallocs became poolallocs, frees became poolfrees.
+  EXPECT_EQ(count_ops(f, Op::kMalloc), 0);
+  EXPECT_EQ(count_ops(f, Op::kPoolAlloc), 1);
+  EXPECT_EQ(count_ops(g, Op::kMalloc), 0);
+  EXPECT_EQ(count_ops(g, Op::kPoolAlloc), 1);
+  EXPECT_EQ(count_ops(g, Op::kFree), 0);
+  EXPECT_EQ(count_ops(g, Op::kPoolFree), 1);
+
+  // g gained a pool parameter; f's call to g passes it.
+  EXPECT_EQ(g.params.size(), 2u);
+  const auto call_it =
+      std::find_if(f.body.begin(), f.body.end(),
+                   [](const Instr& i) { return i.op == Op::kCall; });
+  ASSERT_NE(call_it, f.body.end());
+  EXPECT_EQ(call_it->args.size(), 2u);
+}
+
+TEST(Transform, WellBehavedProgramRunsIdenticallyAfterTransform) {
+  const Module original = parse_module(dpg::testing::kFigure1Fixed);
+  const TransformResult transformed = pool_allocate(original);
+
+  Interpreter native(original, {.backend = Backend::kNative});
+  Interpreter pooled(transformed.module, {.backend = Backend::kGuarded});
+  const InterpResult a = native.run();
+  const InterpResult b = pooled.run();
+  EXPECT_EQ(a.output, b.output);
+}
+
+TEST(Transform, Figure1DanglingDetectedUnderGuardedPools) {
+  const Module m = parse_module(dpg::testing::kFigure1);
+  const TransformResult result = pool_allocate(m);
+  Interpreter interp(result.module, {.backend = Backend::kGuarded});
+  const auto report = core::catch_dangling([&] { (void)interp.run(); });
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->kind, core::AccessKind::kRead);
+}
+
+TEST(Transform, RepeatedPoolLifetimesRecycleVa) {
+  // Calling leaf() in a loop: each call's pool returns its pages. After the
+  // program runs, all pool VAs are recyclable and no pools leak.
+  const Module m = parse_module(dpg::testing::kLocalPool);
+  const TransformResult result = pool_allocate(m);
+  Interpreter interp(result.module, {.backend = Backend::kGuarded});
+  const InterpResult out = interp.run();
+  EXPECT_EQ(out.output.size(), 5u);
+  EXPECT_EQ(interp.live_pools(), 0u);
+  EXPECT_GT(interp.context()->recyclable_shadow_bytes(), 0u);
+}
+
+TEST(Transform, BranchDirectlyToRetStillDestroysPools) {
+  const Module m = parse_module(R"(
+func main() {
+  c = const 1
+  cbr c, fast, slow
+fast:
+  p = malloc 1
+  free p
+  ret
+slow:
+  q = malloc 1
+  free q
+  ret
+}
+)");
+  const TransformResult result = pool_allocate(m);
+  Interpreter interp(result.module, {.backend = Backend::kGuarded});
+  (void)interp.run();
+  EXPECT_EQ(interp.live_pools(), 0u) << "pooldestroy skipped on branch path";
+}
+
+TEST(Transform, LoopBackEdgeDoesNotReinitPool) {
+  // A loop whose label is instruction 0 must not re-execute poolinit.
+  const Module m = parse_module(R"(
+func main() {
+  i = const 0
+loop:
+  p = malloc 1
+  free p
+  one = const 1
+  i = add i, one
+  ten = const 10
+  c = lt i, ten
+  cbr c, loop, done
+done:
+  ret
+}
+)");
+  const TransformResult result = pool_allocate(m);
+  Interpreter interp(result.module, {.backend = Backend::kGuarded});
+  (void)interp.run();
+  // One poolinit total: exactly one pool was ever created.
+  EXPECT_EQ(interp.live_pools(), 0u);
+  const Function& fn = *result.module.find("main");
+  EXPECT_EQ(count_ops(fn, Op::kPoolInit), 1);
+}
+
+TEST(Transform, GlobalEscapePoolLivesInMain) {
+  const Module m = parse_module(dpg::testing::kGlobalEscape);
+  const TransformResult result = pool_allocate(m);
+  const Function& main_fn = *result.module.find("main");
+  EXPECT_EQ(count_ops(main_fn, Op::kPoolInit), 1);
+  // worker() gets the descriptor as a parameter.
+  const Function& worker = *result.module.find("worker");
+  EXPECT_EQ(worker.params.size(), 1u);
+  Interpreter interp(result.module, {.backend = Backend::kGuarded});
+  const InterpResult out = interp.run();
+  ASSERT_EQ(out.output.size(), 1u);
+  EXPECT_EQ(out.output[0], 7u);
+}
+
+TEST(Transform, RecursiveProgramRunsCorrectly) {
+  const Module m = parse_module(dpg::testing::kRecursive);
+  const TransformResult result = pool_allocate(m);
+  Interpreter native(parse_module(dpg::testing::kRecursive),
+                     {.backend = Backend::kNative});
+  Interpreter pooled(result.module, {.backend = Backend::kGuarded});
+  EXPECT_EQ(native.run().output, pooled.run().output);
+}
+
+TEST(Transform, DescriptorThreadingThroughMiddleman) {
+  // middle() holds no pointer to the data but must thread the descriptor.
+  const Module m = parse_module(R"(
+global sink
+func main() {
+  call middle()
+  p = loadg sink
+  v = getfield p, 0
+  out v
+  ret
+}
+func middle() {
+  call worker()
+  ret
+}
+func worker() {
+  p = malloc 1
+  nine = const 9
+  setfield p, 0, nine
+  storeg sink, p
+  ret
+}
+)");
+  const TransformResult result = pool_allocate(m);
+  const Function& middle = *result.module.find("middle");
+  EXPECT_EQ(middle.params.size(), 1u) << "middle must thread the descriptor";
+  Interpreter interp(result.module, {.backend = Backend::kGuarded});
+  const InterpResult out = interp.run();
+  ASSERT_EQ(out.output.size(), 1u);
+  EXPECT_EQ(out.output[0], 9u);
+}
+
+TEST(Transform, TwoPoolsTransformAndRun) {
+  const Module m = parse_module(dpg::testing::kTwoPools);
+  const TransformResult result = pool_allocate(m);
+  EXPECT_EQ(result.placement.pools.size(), 2u);
+  Interpreter interp(result.module, {.backend = Backend::kGuarded});
+  const InterpResult out = interp.run();
+  ASSERT_EQ(out.output.size(), 2u);
+  EXPECT_EQ(out.output[0], 5u);
+  EXPECT_EQ(out.output[1], 1u);
+}
+
+TEST(Transform, PoolInitCarriesInferredElementSize) {
+  // Figure 1's list node is `struct s { next, val }` = 2 fields = 16 bytes;
+  // both malloc sites agree, so poolinit gets the hint (paper Figure 2:
+  // poolinit(&PP, sizeof(struct s))).
+  const Module m = parse_module(dpg::testing::kFigure1);
+  const TransformResult result = pool_allocate(m);
+  const Function& f = *result.module.find("f");
+  ASSERT_EQ(f.body.front().op, Op::kPoolInit);
+  EXPECT_EQ(f.body.front().imm, 16);
+}
+
+TEST(Transform, MixedSizePoolGetsNoHint) {
+  // Both mallocs flow into the same variable, so Steensgaard merges them
+  // into one node; the sizes disagree, so no element hint is possible.
+  const Module m = parse_module(R"(
+func main() {
+  a = malloc 2
+  free a
+  a = malloc 5
+  free a
+  ret
+}
+)");
+  const TransformResult result = pool_allocate(m);
+  const Function& main_fn = *result.module.find("main");
+  ASSERT_EQ(result.placement.pools.size(), 1u);
+  ASSERT_EQ(main_fn.body.front().op, Op::kPoolInit);
+  EXPECT_EQ(main_fn.body.front().imm, 0);
+}
+
+TEST(Transform, DumpShowsPoolOps) {
+  const Module m = parse_module(dpg::testing::kFigure1);
+  const TransformResult result = pool_allocate(m);
+  const std::string text = result.module.dump();
+  EXPECT_NE(text.find("poolinit"), std::string::npos);
+  EXPECT_NE(text.find("poolalloc"), std::string::npos);
+  EXPECT_NE(text.find("poolfree"), std::string::npos);
+  EXPECT_NE(text.find("pooldestroy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpg::compiler

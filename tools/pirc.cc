@@ -1,0 +1,131 @@
+// pirc — command-line driver for the PIR compiler substrate.
+//
+//   pirc [options] program.pir [-- args...]
+//     --dump          print the parsed module
+//     --transform     run Automatic Pool Allocation and print the result
+//     --pools         print the pool placement summary
+//     --native        execute on the native (unguarded) backend
+//     --run           execute transformed code on the guarded runtime (default)
+//     --no-verify     skip the module verifier
+//
+// Exit codes: 0 success; 1 usage/parse error; 42 dangling use detected.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/interp.h"
+#include "compiler/parser.h"
+#include "compiler/pool_transform.h"
+#include "compiler/verify.h"
+#include "core/fault_manager.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pirc [--dump|--transform|--pools|--native|--run] "
+               "[--no-verify] program.pir [-- main-args...]\n");
+  return 1;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpg::compiler;
+
+  bool dump = false;
+  bool show_transform = false;
+  bool show_pools = false;
+  bool native = false;
+  bool verify = true;
+  std::string path;
+  std::vector<std::uint64_t> main_args;
+  bool in_args = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (in_args) {
+      main_args.push_back(std::strtoull(argv[i], nullptr, 0));
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--transform") {
+      show_transform = true;
+    } else if (arg == "--pools") {
+      show_pools = true;
+    } else if (arg == "--native") {
+      native = true;
+    } else if (arg == "--run") {
+      // default
+    } else if (arg == "--no-verify") {
+      verify = false;
+    } else if (arg == "--") {
+      in_args = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  try {
+    const Module module = parse_module(read_file(path));
+    if (dump) {
+      std::fputs(module.dump().c_str(), stdout);
+      return 0;
+    }
+
+    if (native) {
+      Interpreter interp(module, {.backend = Backend::kNative, .verify = verify});
+      const InterpResult result = interp.run(main_args);
+      for (const std::uint64_t v : result.output) std::printf("%llu\n",
+          static_cast<unsigned long long>(v));
+      return 0;
+    }
+
+    const TransformResult transformed = pool_allocate(module);
+    if (show_pools) {
+      for (const auto& pool : transformed.placement.pools) {
+        std::printf("pool node=%d home=%s sites=%zu%s\n", pool.node,
+                    transformed.module
+                        .functions[static_cast<std::size_t>(pool.home_function)]
+                        .name.c_str(),
+                    pool.sites.size(),
+                    pool.global_lifetime ? " (global lifetime)" : "");
+      }
+      return 0;
+    }
+    if (show_transform) {
+      std::fputs(transformed.module.dump().c_str(), stdout);
+      return 0;
+    }
+
+    Interpreter interp(transformed.module,
+                       {.backend = Backend::kGuarded, .verify = verify});
+    const auto report = dpg::core::catch_dangling([&] {
+      const InterpResult result = interp.run(main_args);
+      for (const std::uint64_t v : result.output) std::printf("%llu\n",
+          static_cast<unsigned long long>(v));
+    });
+    if (report.has_value()) {
+      std::fprintf(stderr, "pirc: %s\n", report->describe().c_str());
+      return 42;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pirc: %s\n", e.what());
+    return 1;
+  }
+}
