@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_addrspace.dir/bench_addrspace.cc.o"
+  "CMakeFiles/bench_addrspace.dir/bench_addrspace.cc.o.d"
+  "bench_addrspace"
+  "bench_addrspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_addrspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_valifetime.dir/bench_valifetime.cc.o"
+  "CMakeFiles/bench_valifetime.dir/bench_valifetime.cc.o.d"
+  "bench_valifetime"
+  "bench_valifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_valifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_pools.dir/compiler_pools.cpp.o"
+  "CMakeFiles/compiler_pools.dir/compiler_pools.cpp.o.d"
+  "compiler_pools"
+  "compiler_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

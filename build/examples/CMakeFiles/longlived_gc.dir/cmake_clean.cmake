@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longlived_gc.dir/longlived_gc.cpp.o"
+  "CMakeFiles/longlived_gc.dir/longlived_gc.cpp.o.d"
+  "longlived_gc"
+  "longlived_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longlived_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_guard.dir/server_guard.cpp.o"
+  "CMakeFiles/server_guard.dir/server_guard.cpp.o.d"
+  "server_guard"
+  "server_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

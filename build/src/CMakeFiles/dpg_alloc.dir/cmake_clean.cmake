@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_alloc.dir/alloc/heap.cc.o"
+  "CMakeFiles/dpg_alloc.dir/alloc/heap.cc.o.d"
+  "CMakeFiles/dpg_alloc.dir/alloc/pool.cc.o"
+  "CMakeFiles/dpg_alloc.dir/alloc/pool.cc.o.d"
+  "libdpg_alloc.a"
+  "libdpg_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

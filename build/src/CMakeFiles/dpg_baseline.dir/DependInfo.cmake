@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/capability.cc" "src/CMakeFiles/dpg_baseline.dir/baseline/capability.cc.o" "gcc" "src/CMakeFiles/dpg_baseline.dir/baseline/capability.cc.o.d"
+  "/root/repo/src/baseline/efence.cc" "src/CMakeFiles/dpg_baseline.dir/baseline/efence.cc.o" "gcc" "src/CMakeFiles/dpg_baseline.dir/baseline/efence.cc.o.d"
+  "/root/repo/src/baseline/memcheck.cc" "src/CMakeFiles/dpg_baseline.dir/baseline/memcheck.cc.o" "gcc" "src/CMakeFiles/dpg_baseline.dir/baseline/memcheck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpg_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpg_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_baseline.dir/baseline/capability.cc.o"
+  "CMakeFiles/dpg_baseline.dir/baseline/capability.cc.o.d"
+  "CMakeFiles/dpg_baseline.dir/baseline/efence.cc.o"
+  "CMakeFiles/dpg_baseline.dir/baseline/efence.cc.o.d"
+  "CMakeFiles/dpg_baseline.dir/baseline/memcheck.cc.o"
+  "CMakeFiles/dpg_baseline.dir/baseline/memcheck.cc.o.d"
+  "libdpg_baseline.a"
+  "libdpg_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

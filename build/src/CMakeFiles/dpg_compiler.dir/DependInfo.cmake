@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/escape.cc" "src/CMakeFiles/dpg_compiler.dir/compiler/escape.cc.o" "gcc" "src/CMakeFiles/dpg_compiler.dir/compiler/escape.cc.o.d"
+  "/root/repo/src/compiler/interp.cc" "src/CMakeFiles/dpg_compiler.dir/compiler/interp.cc.o" "gcc" "src/CMakeFiles/dpg_compiler.dir/compiler/interp.cc.o.d"
+  "/root/repo/src/compiler/parser.cc" "src/CMakeFiles/dpg_compiler.dir/compiler/parser.cc.o" "gcc" "src/CMakeFiles/dpg_compiler.dir/compiler/parser.cc.o.d"
+  "/root/repo/src/compiler/points_to.cc" "src/CMakeFiles/dpg_compiler.dir/compiler/points_to.cc.o" "gcc" "src/CMakeFiles/dpg_compiler.dir/compiler/points_to.cc.o.d"
+  "/root/repo/src/compiler/pool_transform.cc" "src/CMakeFiles/dpg_compiler.dir/compiler/pool_transform.cc.o" "gcc" "src/CMakeFiles/dpg_compiler.dir/compiler/pool_transform.cc.o.d"
+  "/root/repo/src/compiler/verify.cc" "src/CMakeFiles/dpg_compiler.dir/compiler/verify.cc.o" "gcc" "src/CMakeFiles/dpg_compiler.dir/compiler/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpg_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpg_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

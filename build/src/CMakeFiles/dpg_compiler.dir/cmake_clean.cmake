@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_compiler.dir/compiler/escape.cc.o"
+  "CMakeFiles/dpg_compiler.dir/compiler/escape.cc.o.d"
+  "CMakeFiles/dpg_compiler.dir/compiler/interp.cc.o"
+  "CMakeFiles/dpg_compiler.dir/compiler/interp.cc.o.d"
+  "CMakeFiles/dpg_compiler.dir/compiler/parser.cc.o"
+  "CMakeFiles/dpg_compiler.dir/compiler/parser.cc.o.d"
+  "CMakeFiles/dpg_compiler.dir/compiler/points_to.cc.o"
+  "CMakeFiles/dpg_compiler.dir/compiler/points_to.cc.o.d"
+  "CMakeFiles/dpg_compiler.dir/compiler/pool_transform.cc.o"
+  "CMakeFiles/dpg_compiler.dir/compiler/pool_transform.cc.o.d"
+  "CMakeFiles/dpg_compiler.dir/compiler/verify.cc.o"
+  "CMakeFiles/dpg_compiler.dir/compiler/verify.cc.o.d"
+  "libdpg_compiler.a"
+  "libdpg_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

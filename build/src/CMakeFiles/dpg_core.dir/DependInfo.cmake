@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fault_manager.cc" "src/CMakeFiles/dpg_core.dir/core/fault_manager.cc.o" "gcc" "src/CMakeFiles/dpg_core.dir/core/fault_manager.cc.o.d"
+  "/root/repo/src/core/gc_scan.cc" "src/CMakeFiles/dpg_core.dir/core/gc_scan.cc.o" "gcc" "src/CMakeFiles/dpg_core.dir/core/gc_scan.cc.o.d"
+  "/root/repo/src/core/guarded_heap.cc" "src/CMakeFiles/dpg_core.dir/core/guarded_heap.cc.o" "gcc" "src/CMakeFiles/dpg_core.dir/core/guarded_heap.cc.o.d"
+  "/root/repo/src/core/guarded_pool.cc" "src/CMakeFiles/dpg_core.dir/core/guarded_pool.cc.o" "gcc" "src/CMakeFiles/dpg_core.dir/core/guarded_pool.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/dpg_core.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/dpg_core.dir/core/registry.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/CMakeFiles/dpg_core.dir/core/runtime.cc.o" "gcc" "src/CMakeFiles/dpg_core.dir/core/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpg_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpg_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

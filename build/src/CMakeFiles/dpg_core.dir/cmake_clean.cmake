@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_core.dir/core/fault_manager.cc.o"
+  "CMakeFiles/dpg_core.dir/core/fault_manager.cc.o.d"
+  "CMakeFiles/dpg_core.dir/core/gc_scan.cc.o"
+  "CMakeFiles/dpg_core.dir/core/gc_scan.cc.o.d"
+  "CMakeFiles/dpg_core.dir/core/guarded_heap.cc.o"
+  "CMakeFiles/dpg_core.dir/core/guarded_heap.cc.o.d"
+  "CMakeFiles/dpg_core.dir/core/guarded_pool.cc.o"
+  "CMakeFiles/dpg_core.dir/core/guarded_pool.cc.o.d"
+  "CMakeFiles/dpg_core.dir/core/registry.cc.o"
+  "CMakeFiles/dpg_core.dir/core/registry.cc.o.d"
+  "CMakeFiles/dpg_core.dir/core/runtime.cc.o"
+  "CMakeFiles/dpg_core.dir/core/runtime.cc.o.d"
+  "libdpg_core.a"
+  "libdpg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

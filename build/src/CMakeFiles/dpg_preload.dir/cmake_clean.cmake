@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_preload.dir/interpose/dpg_preload.cc.o"
+  "CMakeFiles/dpg_preload.dir/interpose/dpg_preload.cc.o.d"
+  "libdpg_preload.pdb"
+  "libdpg_preload.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

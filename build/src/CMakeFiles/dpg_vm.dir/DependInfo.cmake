@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/phys_arena.cc" "src/CMakeFiles/dpg_vm.dir/vm/phys_arena.cc.o" "gcc" "src/CMakeFiles/dpg_vm.dir/vm/phys_arena.cc.o.d"
+  "/root/repo/src/vm/shadow_map.cc" "src/CMakeFiles/dpg_vm.dir/vm/shadow_map.cc.o" "gcc" "src/CMakeFiles/dpg_vm.dir/vm/shadow_map.cc.o.d"
+  "/root/repo/src/vm/va_freelist.cc" "src/CMakeFiles/dpg_vm.dir/vm/va_freelist.cc.o" "gcc" "src/CMakeFiles/dpg_vm.dir/vm/va_freelist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_vm.dir/vm/phys_arena.cc.o"
+  "CMakeFiles/dpg_vm.dir/vm/phys_arena.cc.o.d"
+  "CMakeFiles/dpg_vm.dir/vm/shadow_map.cc.o"
+  "CMakeFiles/dpg_vm.dir/vm/shadow_map.cc.o.d"
+  "CMakeFiles/dpg_vm.dir/vm/va_freelist.cc.o"
+  "CMakeFiles/dpg_vm.dir/vm/va_freelist.cc.o.d"
+  "libdpg_vm.a"
+  "libdpg_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

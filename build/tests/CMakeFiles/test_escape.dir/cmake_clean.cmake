@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_escape.dir/test_escape.cc.o"
+  "CMakeFiles/test_escape.dir/test_escape.cc.o.d"
+  "test_escape"
+  "test_escape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_escape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

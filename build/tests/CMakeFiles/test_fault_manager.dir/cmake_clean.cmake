@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_manager.dir/test_fault_manager.cc.o"
+  "CMakeFiles/test_fault_manager.dir/test_fault_manager.cc.o.d"
+  "test_fault_manager"
+  "test_fault_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gc_scan.dir/test_gc_scan.cc.o"
+  "CMakeFiles/test_gc_scan.dir/test_gc_scan.cc.o.d"
+  "test_gc_scan"
+  "test_gc_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gc_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guarded_heap.dir/test_guarded_heap.cc.o"
+  "CMakeFiles/test_guarded_heap.dir/test_guarded_heap.cc.o.d"
+  "test_guarded_heap"
+  "test_guarded_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guarded_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guarded_pool.dir/test_guarded_pool.cc.o"
+  "CMakeFiles/test_guarded_pool.dir/test_guarded_pool.cc.o.d"
+  "test_guarded_pool"
+  "test_guarded_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guarded_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pirc.dir/test_pirc.cc.o"
+  "CMakeFiles/test_pirc.dir/test_pirc.cc.o.d"
+  "test_pirc"
+  "test_pirc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pirc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_points_to.dir/test_points_to.cc.o"
+  "CMakeFiles/test_points_to.dir/test_points_to.cc.o.d"
+  "test_points_to"
+  "test_points_to.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_points_to.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

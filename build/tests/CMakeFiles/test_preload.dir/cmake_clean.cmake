@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preload.dir/test_preload.cc.o"
+  "CMakeFiles/test_preload.dir/test_preload.cc.o.d"
+  "test_preload"
+  "test_preload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
