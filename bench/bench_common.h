@@ -1,32 +1,36 @@
 // Shared harness for the paper-table benchmarks.
 //
-// Environment knobs:
+// Environment knobs (validated via obs/env.h — garbage values warn on stderr
+// and fall back to the default instead of silently becoming 0):
 //   DPG_BENCH_SCALE  workload size multiplier (default 1.0)
 //   DPG_BENCH_REPS   timed repetitions, median reported (default 3)
+//   DPG_BENCH_JSON   when set, every measured sample is appended as one
+//                    JSON line to BENCH_<workload>.json in this directory
+//                    ("." for cwd), with the full obs metrics snapshot
+//                    embedded — the perf trajectory becomes machine-readable.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "baseline/policies.h"
+#include "obs/env.h"
+#include "obs/metrics.h"
 #include "vm/vm_stats.h"
 #include "workloads/registry.h"
 
 namespace dpg::bench {
 
 inline double env_scale() {
-  const char* s = std::getenv("DPG_BENCH_SCALE");
-  return s != nullptr ? std::atof(s) : 1.0;
+  return obs::env_double("DPG_BENCH_SCALE", 1.0, 1e-4, 1e6);
 }
 
 inline int env_reps() {
-  const char* s = std::getenv("DPG_BENCH_REPS");
-  const int r = s != nullptr ? std::atoi(s) : 3;
-  return r > 0 ? r : 1;
+  return static_cast<int>(obs::env_long("DPG_BENCH_REPS", 3, 1, 10000));
 }
 
 struct Sample {
@@ -34,6 +38,34 @@ struct Sample {
   std::uint64_t checksum = 0;
   std::uint64_t syscalls = 0;  // mm-syscalls issued during the run
 };
+
+// Appends `sample` (+ an embedded obs metrics snapshot) to
+// $DPG_BENCH_JSON/BENCH_<workload>.json. No-op when the knob is unset.
+inline void maybe_export_sample(const std::string& workload,
+                                const char* policy, double scale,
+                                const Sample& sample) {
+  const char* dir = obs::env_str("DPG_BENCH_JSON");
+  if (dir == nullptr) return;
+  char path[512];
+  std::snprintf(path, sizeof path, "%s/BENCH_%s.json", dir, workload.c_str());
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "dpguard: cannot open %s for DPG_BENCH_JSON\n", path);
+    return;
+  }
+  static char metrics[32 * 1024];  // benches are single-threaded drivers
+  const std::size_t mlen =
+      obs::render_json(metrics, sizeof metrics, "bench");
+  std::fprintf(f,
+               "{\"type\":\"dpg_bench\",\"workload\":\"%s\",\"policy\":\"%s\","
+               "\"scale\":%g,\"seconds\":%.9f,\"checksum\":%llu,"
+               "\"syscalls\":%llu,\"metrics\":%s}\n",
+               workload.c_str(), policy, scale, sample.seconds,
+               static_cast<unsigned long long>(sample.checksum),
+               static_cast<unsigned long long>(sample.syscalls),
+               mlen != 0 ? metrics : "null");
+  std::fclose(f);
+}
 
 // Times `reps` runs of the workload under policy P, returning the median.
 template <typename P>
@@ -50,6 +82,7 @@ Sample measure(const std::string& name, double scale, int reps) {
   }
   std::sort(times.begin(), times.end());
   sample.seconds = times[times.size() / 2];
+  maybe_export_sample(name, P::name(), scale, sample);
   return sample;
 }
 

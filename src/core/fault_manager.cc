@@ -10,50 +10,23 @@
 #include <mutex>
 
 #include "core/registry.h"
+#include "obs/fmt.h"
+#include "obs/metrics.h"
 
 namespace dpg::core {
 
 namespace {
 
+using obs::fmt::put_dec;
+using obs::fmt::put_hex;
+using obs::fmt::put_str;
+
 std::atomic<FaultManager::Callback> g_callback{nullptr};
 std::atomic<std::uint64_t> g_detections{0};
 thread_local FaultManager::Probe t_probe;
 
-// --- async-signal-safe formatting -----------------------------------------
-
-std::size_t put_str(char* out, std::size_t cap, std::size_t at, const char* s) {
-  while (*s != '\0' && at + 1 < cap) out[at++] = *s++;
-  return at;
-}
-
-std::size_t put_hex(char* out, std::size_t cap, std::size_t at,
-                    std::uint64_t v) {
-  char digits[18];
-  int n = 0;
-  do {
-    const int d = static_cast<int>(v & 0xF);
-    digits[n++] = static_cast<char>(d < 10 ? '0' + d : 'a' + d - 10);
-    v >>= 4;
-  } while (v != 0);
-  at = put_str(out, cap, at, "0x");
-  while (n > 0 && at + 1 < cap) out[at++] = digits[--n];
-  return at;
-}
-
-std::size_t put_dec(char* out, std::size_t cap, std::size_t at,
-                    std::uint64_t v) {
-  char digits[21];
-  int n = 0;
-  do {
-    digits[n++] = static_cast<char>('0' + v % 10);
-    v /= 10;
-  } while (v != 0);
-  while (n > 0 && at + 1 < cap) out[at++] = digits[--n];
-  return at;
-}
-
 void write_report(const DanglingReport& r) {
-  char buf[512];
+  char buf[4096];
   std::size_t at = 0;
   at = put_str(buf, sizeof buf, at, "\n=== dpguard: dangling pointer ");
   at = put_str(buf, sizeof buf, at, to_string(r.kind));
@@ -68,12 +41,50 @@ void write_report(const DanglingReport& r) {
   at = put_str(buf, sizeof buf, at, "\n  free site:  ");
   at = put_dec(buf, sizeof buf, at, r.free_site);
   at = put_str(buf, sizeof buf, at, "\n");
+  if (r.trace_count != 0) {
+    at = put_str(buf, sizeof buf, at, "  last ");
+    at = put_dec(buf, sizeof buf, at, r.trace_count);
+    at = put_str(buf, sizeof buf, at, " events (oldest first):\n");
+    for (std::size_t i = 0; i < r.trace_count; ++i) {
+      const obs::TraceEvent& e = r.recent_trace[i];
+      at = put_str(buf, sizeof buf, at, "    [");
+      at = put_dec(buf, sizeof buf, at, e.ns);
+      at = put_str(buf, sizeof buf, at, "ns] ");
+      at = put_str(buf, sizeof buf, at,
+                   to_string(static_cast<obs::EventKind>(e.kind)));
+      at = put_str(buf, sizeof buf, at, " addr=");
+      at = put_hex(buf, sizeof buf, at, e.addr);
+      at = put_str(buf, sizeof buf, at, " arg=");
+      at = put_dec(buf, sizeof buf, at, e.arg);
+      at = put_str(buf, sizeof buf, at, " site=");
+      at = put_dec(buf, sizeof buf, at, e.site);
+      at = put_str(buf, sizeof buf, at, " tid=");
+      at = put_dec(buf, sizeof buf, at, e.tid);
+      at = put_str(buf, sizeof buf, at, "\n");
+    }
+  }
   // Best-effort: a short write here is acceptable.
   [[maybe_unused]] ssize_t rc = write(STDERR_FILENO, buf, at);
+  // Stats snapshot alongside the crash: registered counters + histograms as
+  // one JSON line (async-signal-safe), so the report is self-diagnosing.
+  char metrics[8192];
+  std::size_t mlen = obs::render_json(metrics, sizeof metrics - 1, "fault");
+  if (mlen != 0) {
+    metrics[mlen++] = '\n';
+    rc = write(STDERR_FILENO, metrics, mlen);
+  }
 }
 
-[[noreturn]] void dispatch(const DanglingReport& report) {
+[[noreturn]] void dispatch(const DanglingReport& incoming) {
   g_detections.fetch_add(1, std::memory_order_relaxed);
+  // Enrich with the faulting thread's flight-recorder tail. The fault event
+  // itself is recorded first so it is always the newest entry.
+  obs::record_event(obs::EventKind::kFault, incoming.fault_address,
+                    static_cast<std::uint64_t>(incoming.kind),
+                    incoming.free_site);
+  DanglingReport report = incoming;
+  report.trace_count =
+      obs::capture_recent(report.recent_trace, DanglingReport::kTraceDepth);
   if (t_probe.armed != 0) {
     t_probe.report = report;
     siglongjmp(t_probe.env, 1);

@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "core/fault_manager.h"
+#include "obs/metrics.h"
 #include "vm/vm_stats.h"
 
 namespace dpg::core {
@@ -21,12 +22,14 @@ ShadowEngine::ShadowEngine(vm::PhysArena& arena, alloc::MallocLike& under,
       cfg_(cfg) {
   head_.prev = &head_;
   head_.next = &head_;
+  obs::init_from_env();  // idempotent: arms DPG_TRACE / DPG_METRICS_* knobs
   FaultManager::instance().install();
 }
 
 ShadowEngine::~ShadowEngine() { release_all(); }
 
 void* ShadowEngine::malloc(std::size_t size, SiteId site) {
+  obs::ScopedLatency lat(obs::Hist::kAllocNs);
   std::lock_guard lock(mu_);
   return do_alloc_locked(size, site);
 }
@@ -36,6 +39,7 @@ void* ShadowEngine::calloc(std::size_t count, std::size_t size, SiteId site) {
     return nullptr;  // multiplication would overflow: the calloc contract
   }
   const std::size_t total = count * size;
+  obs::ScopedLatency lat(obs::Hist::kAllocNs);
   std::lock_guard lock(mu_);
   void* p = do_alloc_locked(total, site);
   // Canonical blocks are recycled, so the memory may hold stale bytes.
@@ -92,8 +96,12 @@ void* ShadowEngine::do_alloc_locked(std::size_t size, SiteId site) {
     // Reserve data + guard in one anonymous PROT_NONE mapping, then place
     // the aliased data pages over its head; the tail page stays as the
     // unmapped-equivalent guard.
+    const std::uint64_t t0 = obs::enabled() ? obs::monotonic_ns() : 0;
     void* region = mmap(nullptr, span_len, PROT_NONE,
                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (t0 != 0) {
+      obs::hist(obs::Hist::kMmapNs).record(obs::monotonic_ns() - t0);
+    }
     vm::syscall_counters().mmap.fetch_add(1, std::memory_order_relaxed);
     if (region == MAP_FAILED) throw std::bad_alloc{};
     shadow_base =
@@ -108,9 +116,11 @@ void* ShadowEngine::do_alloc_locked(std::size_t size, SiteId site) {
   }
 
   if (fixed != nullptr) {
-    stats_.shadow_pages_reused += span_len / vm::kPageSize;
+    stats_.shadow_pages_reused.fetch_add(span_len / vm::kPageSize,
+                                         std::memory_order_relaxed);
   } else {
-    stats_.shadow_pages_mapped += span_len / vm::kPageSize;
+    stats_.shadow_pages_mapped.fetch_add(span_len / vm::kPageSize,
+                                         std::memory_order_relaxed);
   }
 
   // Header word: the canonical address, written through the shadow view (the
@@ -138,14 +148,16 @@ void* ShadowEngine::do_alloc_locked(std::size_t size, SiteId site) {
 
   ShadowRegistry::global().insert(*rec);
 
-  stats_.allocations++;
-  stats_.live_records++;
-  stats_.guarded_bytes += span_len;
+  stats_.allocations.fetch_add(1, std::memory_order_relaxed);
+  stats_.live_records.fetch_add(1, std::memory_order_relaxed);
+  stats_.guarded_bytes.fetch_add(span_len, std::memory_order_relaxed);
+  obs::record_event(obs::EventKind::kAlloc, rec->user_shadow, size, site);
   return reinterpret_cast<void*>(rec->user_shadow);
 }
 
 void ShadowEngine::free(void* p, SiteId site) {
   if (p == nullptr) return;
+  obs::ScopedLatency lat(obs::Hist::kFreeNs);
   std::unique_lock lock(mu_);
   free_locked(lock, p, site);
 }
@@ -158,7 +170,7 @@ void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
   // still require the exact pointer, as free() of an interior pointer is an
   // error in its own right.
   if (found == nullptr || found->user_shadow != user) {
-    stats_.invalid_frees++;
+    stats_.invalid_frees.fetch_add(1, std::memory_order_relaxed);
     DanglingReport report;
     report.kind = AccessKind::kInvalidFree;
     report.fault_address = user;
@@ -169,7 +181,7 @@ void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
     // Deterministic double-free detection. (The paper's formulation — the
     // header-word read trapping on the protected page — also holds here, but
     // checking the record first yields a precise report.)
-    stats_.double_frees++;
+    stats_.double_frees.fetch_add(1, std::memory_order_relaxed);
     DanglingReport report;
     report.kind = AccessKind::kFree;
     report.fault_address = user;
@@ -189,7 +201,8 @@ void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
 
   rec->free_site = site;
   rec->state.store(ObjectState::kFreed, std::memory_order_release);
-  stats_.frees++;
+  stats_.frees.fetch_add(1, std::memory_order_relaxed);
+  obs::record_event(obs::EventKind::kFree, user, rec->user_size, site);
 
   if (cfg_.protect_batch > 1) {
     // Deferred protection: the canonical block is NOT returned yet, so the
@@ -204,7 +217,7 @@ void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
 
   vm::PhysArena::protect_none(reinterpret_cast<void*>(rec->shadow_base),
                               rec->span_length);
-  stats_.protect_calls++;
+  stats_.protect_calls.fetch_add(1, std::memory_order_relaxed);
   under_.free(reinterpret_cast<void*>(rec->canonical));
   freed_bytes_held_ += rec->span_length;
   enforce_budget_locked();
@@ -227,13 +240,13 @@ void ShadowEngine::flush_protections_locked() {
   const auto emit = [&] {
     if (run_len != 0) {
       vm::PhysArena::protect_none(reinterpret_cast<void*>(run_base), run_len);
-      stats_.protect_calls++;
+      stats_.protect_calls.fetch_add(1, std::memory_order_relaxed);
     }
   };
   for (const ObjectRecord* rec : pending_protect_) {
     if (rec->shadow_base == run_base + run_len) {
       run_len += rec->span_length;  // extends the current run
-      stats_.protect_calls_saved++;
+      stats_.protect_calls_saved.fetch_add(1, std::memory_order_relaxed);
     } else {
       emit();
       run_base = rec->shadow_base;
@@ -241,6 +254,9 @@ void ShadowEngine::flush_protections_locked() {
     }
   }
   emit();
+  obs::record_event(obs::EventKind::kProtectBatch,
+                    pending_protect_.front()->shadow_base,
+                    pending_protect_.size());
   for (ObjectRecord* rec : pending_protect_) {
     under_.free(reinterpret_cast<void*>(rec->canonical));
     freed_bytes_held_ += rec->span_length;
@@ -279,16 +295,18 @@ void ShadowEngine::release_record_locked(ObjectRecord* rec, bool recycle_va) {
   ShadowRegistry::global().erase(*rec);
   const vm::PageRange span{rec->shadow_base, rec->span_length};
   if (recycle_va && shadow_freelist_ != nullptr) {
-    shadow_freelist_->put(span);
+    shadow_freelist_->put(span);  // records the kVaReclaim event
   } else {
     arena_.unmap(reinterpret_cast<void*>(span.base), span.length);
+    obs::record_event(obs::EventKind::kVaReclaim, span.base, span.pages());
   }
   if (rec->state.load(std::memory_order_relaxed) == ObjectState::kFreed) {
     freed_bytes_held_ -= rec->span_length;
   }
-  stats_.va_reclaimed_pages += span.pages();
-  stats_.live_records--;
-  stats_.guarded_bytes -= span.length;
+  stats_.va_reclaimed_pages.fetch_add(span.pages(), std::memory_order_relaxed);
+  stats_.live_records.fetch_sub(1, std::memory_order_relaxed);
+  stats_.guarded_bytes.fetch_sub(span.length, std::memory_order_relaxed);
+  obs::record_event(obs::EventKind::kVaReclaim, span.base, span.pages());
   unlink_locked(rec);
   delete rec;
 }
@@ -346,8 +364,10 @@ void ShadowEngine::reclaim(ObjectRecord* rec) {
 }
 
 GuardStats ShadowEngine::stats() const {
+  // Under the engine lock every writer is quiesced, so this snapshot is a
+  // fully consistent cut (see the contract in stats.h).
   std::lock_guard lock(mu_);
-  return stats_;
+  return stats_.snapshot();
 }
 
 GuardedHeap::GuardedHeap(vm::PhysArena& arena, GuardConfig cfg)

@@ -103,6 +103,11 @@ class ShadowEngine {
   void reclaim(ObjectRecord* rec);  // must be a freed record of this engine
 
   [[nodiscard]] GuardStats stats() const;
+  // Live atomic counters for lock-free readers (metrics exporter, signal
+  // dumps). See the memory-order contract in stats.h.
+  [[nodiscard]] const GuardCounters& counters() const noexcept {
+    return stats_;
+  }
   [[nodiscard]] alloc::MallocLike& underlying() noexcept { return under_; }
 
   static constexpr std::size_t kGuardHeader = sizeof(std::uintptr_t);
@@ -125,7 +130,7 @@ class ShadowEngine {
   ObjectRecord head_;  // intrusive list sentinel, oldest first
   std::vector<ObjectRecord*> pending_protect_;  // batched-mode frees
   std::size_t freed_bytes_held_ = 0;
-  GuardStats stats_;
+  GuardCounters stats_;
 };
 
 // GuardedHeap: drop-in malloc/free built from a SegregatedHeap inside a

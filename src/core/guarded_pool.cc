@@ -1,5 +1,7 @@
 #include "core/guarded_pool.h"
 
+#include "obs/metrics.h"
+
 namespace dpg::core {
 
 namespace {
@@ -9,10 +11,13 @@ thread_local PoolScope* t_current_scope = nullptr;
 PoolScope::PoolScope(GuardedPoolContext& ctx, std::size_t elem_hint)
     : pool_(ctx, elem_hint), parent_(t_current_scope) {
   t_current_scope = this;
+  obs::record_event(obs::EventKind::kPoolInit, vm::addr(this), elem_hint);
 }
 
 PoolScope::~PoolScope() {
   t_current_scope = parent_;
+  obs::record_event(obs::EventKind::kPoolDestroy, vm::addr(this),
+                    pool_.pool_stats().allocations);
   // ~GuardedPool runs destroy(): every shadow and canonical page of this
   // scope becomes recyclable, exactly the paper's pooldestroy semantics.
 }

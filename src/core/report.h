@@ -1,9 +1,12 @@
 // Diagnostic types produced when a dangling pointer use is detected.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+
+#include "obs/trace.h"
 
 namespace dpg::core {
 
@@ -42,6 +45,15 @@ struct DanglingReport {
   std::size_t object_size = 0;
   SiteId alloc_site = 0;
   SiteId free_site = 0;
+
+  // Flight-recorder enrichment (DPG_TRACE=1): the faulting thread's most
+  // recent events, oldest first, filled by the fault manager at dispatch so a
+  // single production crash carries its own history. Empty when tracing is
+  // off. The kFault event for this very report is recorded first, so it is
+  // always the newest entry when tracing is on.
+  static constexpr std::size_t kTraceDepth = 32;
+  std::size_t trace_count = 0;
+  obs::TraceEvent recent_trace[kTraceDepth] = {};
 
   [[nodiscard]] std::string describe() const;
 };

@@ -1,12 +1,33 @@
 #include "core/runtime.h"
 
+#include "obs/metrics.h"
+
 namespace dpg::core {
 
 Runtime& Runtime::instance(const RuntimeConfig& cfg) {
   // Leaked intentionally: the fault handler and any late frees must keep
   // working during static destruction.
-  static Runtime* rt = new Runtime(cfg);
+  static Runtime* rt = [&cfg] {
+    auto* r = new Runtime(cfg);
+    r->export_counters();
+    return r;
+  }();
   return *rt;
+}
+
+void Runtime::export_counters() noexcept {
+  const GuardCounters& c = heap_.engine().counters();
+  obs::register_counter("dpg_allocations", &c.allocations);
+  obs::register_counter("dpg_frees", &c.frees);
+  obs::register_counter("dpg_shadow_pages_mapped", &c.shadow_pages_mapped);
+  obs::register_counter("dpg_shadow_pages_reused", &c.shadow_pages_reused);
+  obs::register_counter("dpg_va_reclaimed_pages", &c.va_reclaimed_pages);
+  obs::register_counter("dpg_double_frees", &c.double_frees);
+  obs::register_counter("dpg_invalid_frees", &c.invalid_frees);
+  obs::register_counter("dpg_protect_calls", &c.protect_calls);
+  obs::register_counter("dpg_protect_calls_saved", &c.protect_calls_saved);
+  obs::register_counter("dpg_live_records", &c.live_records);
+  obs::register_counter("dpg_guarded_bytes", &c.guarded_bytes);
 }
 
 void* dpg_malloc(std::size_t size) { return Runtime::instance().heap().malloc(size); }

@@ -42,6 +42,10 @@ class Runtime {
   explicit Runtime(const RuntimeConfig& cfg)
       : arena_(cfg.arena_window), heap_(arena_, cfg.guard) {}
 
+  // Registers the process heap's GuardCounters with the obs exporter (the
+  // Runtime is immortal, so the pointers stay valid for any late dump).
+  void export_counters() noexcept;
+
   vm::PhysArena arena_;
   GuardedHeap heap_;
 };

@@ -1,12 +1,35 @@
-// Counters the guard layer keeps; these feed EXPERIMENTS.md and the §4.3
-// address-space study (bench_addrspace).
+// Counters the guard layer keeps; these feed EXPERIMENTS.md, the §4.3
+// address-space study (bench_addrspace), and the obs metrics exporter.
+//
+// Memory-order contract
+// ---------------------
+// `GuardCounters` is the live, atomically-updated form; `GuardStats` is a
+// plain snapshot of it.
+//
+//   - Writers: every mutation is a relaxed atomic RMW performed while holding
+//     the owning ShadowEngine's lock. The lock serializes all writers, so
+//     relaxed ordering is sufficient for counter integrity; atomicity exists
+//     solely for the benefit of lock-free readers.
+//   - Coherent reads: ShadowEngine::stats() snapshots under that same lock,
+//     so the returned GuardStats is a consistent cut — cross-counter
+//     invariants (e.g. protect_calls + protect_calls_saved == frees after a
+//     flush) hold exactly.
+//   - Lock-free reads: the metrics exporter, the SIGUSR1 dump, and the fault
+//     path call GuardCounters::snapshot() without the lock (signal context
+//     cannot take it). Each counter is then individually torn-free, but the
+//     set may straddle an in-flight operation: cross-counter invariants can
+//     be off by the handful of updates the concurrent mutator has made so
+//     far. Diagnostics tolerate that skew; tests must use stats().
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 namespace dpg::core {
 
+// Plain snapshot (copyable, no atomics). See the contract above for when a
+// snapshot is a consistent cut versus per-counter accurate.
 struct GuardStats {
   std::uint64_t allocations = 0;
   std::uint64_t frees = 0;
@@ -20,6 +43,40 @@ struct GuardStats {
   std::uint64_t protect_calls_saved = 0;  // frees amortized by batching
   std::size_t live_records = 0;            // live + freed-but-still-guarded
   std::size_t guarded_bytes = 0;           // shadow span bytes currently held
+};
+
+// Live counters. Field-for-field the atomic twin of GuardStats.
+struct GuardCounters {
+  std::atomic<std::uint64_t> allocations{0};
+  std::atomic<std::uint64_t> frees{0};
+  std::atomic<std::uint64_t> shadow_pages_mapped{0};
+  std::atomic<std::uint64_t> shadow_pages_reused{0};
+  std::atomic<std::uint64_t> va_reclaimed_pages{0};
+  std::atomic<std::uint64_t> double_frees{0};
+  std::atomic<std::uint64_t> invalid_frees{0};
+  std::atomic<std::uint64_t> protect_calls{0};
+  std::atomic<std::uint64_t> protect_calls_saved{0};
+  std::atomic<std::uint64_t> live_records{0};
+  std::atomic<std::uint64_t> guarded_bytes{0};
+
+  [[nodiscard]] GuardStats snapshot() const noexcept {
+    GuardStats s;
+    s.allocations = allocations.load(std::memory_order_relaxed);
+    s.frees = frees.load(std::memory_order_relaxed);
+    s.shadow_pages_mapped = shadow_pages_mapped.load(std::memory_order_relaxed);
+    s.shadow_pages_reused = shadow_pages_reused.load(std::memory_order_relaxed);
+    s.va_reclaimed_pages = va_reclaimed_pages.load(std::memory_order_relaxed);
+    s.double_frees = double_frees.load(std::memory_order_relaxed);
+    s.invalid_frees = invalid_frees.load(std::memory_order_relaxed);
+    s.protect_calls = protect_calls.load(std::memory_order_relaxed);
+    s.protect_calls_saved =
+        protect_calls_saved.load(std::memory_order_relaxed);
+    s.live_records = static_cast<std::size_t>(
+        live_records.load(std::memory_order_relaxed));
+    s.guarded_bytes = static_cast<std::size_t>(
+        guarded_bytes.load(std::memory_order_relaxed));
+    return s;
+  }
 };
 
 }  // namespace dpg::core

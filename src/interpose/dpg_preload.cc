@@ -28,6 +28,7 @@
 
 #include "core/registry.h"
 #include "core/runtime.h"
+#include "obs/metrics.h"
 
 extern "C" {
 void* __libc_malloc(std::size_t size);
@@ -47,6 +48,10 @@ struct DepthGuard {
 };
 
 dpg::core::GuardedHeap& heap() {
+  // Arm the observability knobs (DPG_TRACE / DPG_METRICS_*) before the first
+  // guarded allocation so even the earliest events are recorded. Idempotent;
+  // internal allocations route to __libc_malloc under the depth guard.
+  dpg::obs::init_from_env();
   // Runtime construction allocates; the caller holds the depth guard.
   return dpg::core::Runtime::instance(
              {.guard = {.freed_va_budget = std::size_t{256} << 20}})

@@ -1,0 +1,85 @@
+// Validated environment-variable parsing shared by the observability layer
+// and the bench harness.
+//
+// atoi/atof silently turn garbage ("DPG_BENCH_REPS=abc") into 0, which then
+// masquerades as a legitimate configuration. These helpers parse with
+// strtol/strtod, require the *entire* value to be consumed, clamp to a
+// caller-supplied range, and emit one stderr warning before falling back to
+// the default — so a typo'd knob is loud instead of silently wrong.
+#pragma once
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dpg::obs {
+
+// Raw value, or nullptr when unset or empty.
+inline const char* env_str(const char* name) noexcept {
+  const char* v = std::getenv(name);
+  return (v != nullptr && v[0] != '\0') ? v : nullptr;
+}
+
+inline long env_long(const char* name, long fallback, long lo = LONG_MIN,
+                     long hi = LONG_MAX) noexcept {
+  const char* v = env_str(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "dpguard: ignoring %s=\"%s\" (not an integer); using %ld\n",
+                 name, v, fallback);
+    return fallback;
+  }
+  if (parsed < lo || parsed > hi) {
+    std::fprintf(stderr,
+                 "dpguard: %s=%ld out of range [%ld, %ld]; using %ld\n", name,
+                 parsed, lo, hi, fallback);
+    return fallback;
+  }
+  return parsed;
+}
+
+inline double env_double(const char* name, double fallback, double lo,
+                         double hi) noexcept {
+  const char* v = env_str(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "dpguard: ignoring %s=\"%s\" (not a number); using %g\n",
+                 name, v, fallback);
+    return fallback;
+  }
+  if (parsed < lo || parsed > hi) {
+    std::fprintf(stderr, "dpguard: %s=%g out of range [%g, %g]; using %g\n",
+                 name, parsed, lo, hi, fallback);
+    return fallback;
+  }
+  return parsed;
+}
+
+// Accepts 1/0, true/false, on/off, yes/no (case-sensitive, the common forms).
+inline bool env_flag(const char* name, bool fallback) noexcept {
+  const char* v = env_str(name);
+  if (v == nullptr) return fallback;
+  if (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+      std::strcmp(v, "on") == 0 || std::strcmp(v, "yes") == 0) {
+    return true;
+  }
+  if (std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+      std::strcmp(v, "off") == 0 || std::strcmp(v, "no") == 0) {
+    return false;
+  }
+  std::fprintf(stderr, "dpguard: ignoring %s=\"%s\" (not a flag); using %d\n",
+               name, v, fallback ? 1 : 0);
+  return fallback;
+}
+
+}  // namespace dpg::obs

@@ -1,0 +1,56 @@
+// Async-signal-safe string building.
+//
+// The fault handler and the SIGUSR1 metrics dump both format diagnostics from
+// signal context, where snprintf/malloc are off the table. These helpers
+// append into a caller-owned buffer, never allocate, never overrun, and
+// always leave room for a terminating byte. Each returns the new write
+// position.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dpg::obs::fmt {
+
+inline std::size_t put_str(char* out, std::size_t cap, std::size_t at,
+                           const char* s) noexcept {
+  while (*s != '\0' && at + 1 < cap) out[at++] = *s++;
+  return at;
+}
+
+inline std::size_t put_hex(char* out, std::size_t cap, std::size_t at,
+                           std::uint64_t v) noexcept {
+  char digits[18];
+  int n = 0;
+  do {
+    const int d = static_cast<int>(v & 0xF);
+    digits[n++] = static_cast<char>(d < 10 ? '0' + d : 'a' + d - 10);
+    v >>= 4;
+  } while (v != 0);
+  at = put_str(out, cap, at, "0x");
+  while (n > 0 && at + 1 < cap) out[at++] = digits[--n];
+  return at;
+}
+
+inline std::size_t put_dec(char* out, std::size_t cap, std::size_t at,
+                           std::uint64_t v) noexcept {
+  char digits[21];
+  int n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0 && at + 1 < cap) out[at++] = digits[--n];
+  return at;
+}
+
+// "key":value — the JSON building block used by the metrics exporter.
+inline std::size_t put_json_kv(char* out, std::size_t cap, std::size_t at,
+                               const char* key, std::uint64_t v) noexcept {
+  at = put_str(out, cap, at, "\"");
+  at = put_str(out, cap, at, key);
+  at = put_str(out, cap, at, "\":");
+  return put_dec(out, cap, at, v);
+}
+
+}  // namespace dpg::obs::fmt

@@ -10,6 +10,7 @@
 #include <string>
 #include <system_error>
 
+#include "obs/metrics.h"
 #include "vm/vm_stats.h"
 
 namespace dpg::vm {
@@ -30,6 +31,17 @@ int make_memfd() {
 
 SyscallCounters& syscall_counters() noexcept {
   static SyscallCounters counters;
+  // Expose the process-wide syscall counters to the metrics exporter once.
+  // The instance is immortal, so handing out field pointers is safe.
+  static const bool registered = [] {
+    obs::register_counter("dpg_mmap_calls", &counters.mmap);
+    obs::register_counter("dpg_munmap_calls", &counters.munmap);
+    obs::register_counter("dpg_mprotect_calls", &counters.mprotect);
+    obs::register_counter("dpg_mremap_calls", &counters.mremap);
+    obs::register_counter("dpg_ftruncate_calls", &counters.ftruncate);
+    return true;
+  }();
+  (void)registered;
   return counters;
 }
 
@@ -92,6 +104,7 @@ void* PhysArena::map_shadow(const void* canonical_page, std::size_t len,
   const std::size_t offset = offset_of(canonical_page);
   int flags = MAP_SHARED;
   if (fixed != nullptr) flags |= MAP_FIXED;
+  obs::ScopedLatency lat(obs::Hist::kMmapNs);
   void* shadow = mmap(fixed, span, PROT_READ | PROT_WRITE, flags, fd_,
                       static_cast<off_t>(offset));
   syscall_counters().mmap.fetch_add(1, std::memory_order_relaxed);
@@ -100,16 +113,19 @@ void* PhysArena::map_shadow(const void* canonical_page, std::size_t len,
 }
 
 void PhysArena::unmap(void* p, std::size_t len) noexcept {
+  obs::ScopedLatency lat(obs::Hist::kMunmapNs);
   munmap(p, page_up(len));
   syscall_counters().munmap.fetch_add(1, std::memory_order_relaxed);
 }
 
 void PhysArena::protect_none(void* p, std::size_t len) {
+  obs::ScopedLatency lat(obs::Hist::kMprotectNs);
   if (mprotect(p, page_up(len), PROT_NONE) != 0) throw_errno("mprotect NONE");
   syscall_counters().mprotect.fetch_add(1, std::memory_order_relaxed);
 }
 
 void PhysArena::protect_rw(void* p, std::size_t len) {
+  obs::ScopedLatency lat(obs::Hist::kMprotectNs);
   if (mprotect(p, page_up(len), PROT_READ | PROT_WRITE) != 0) {
     throw_errno("mprotect RW");
   }
@@ -117,6 +133,7 @@ void PhysArena::protect_rw(void* p, std::size_t len) {
 }
 
 void PhysArena::map_guard(void* fixed, std::size_t len) {
+  obs::ScopedLatency lat(obs::Hist::kMmapNs);
   void* p = mmap(fixed, page_up(len), PROT_NONE,
                  MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
   syscall_counters().mmap.fetch_add(1, std::memory_order_relaxed);

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <new>
 
+#include "obs/metrics.h"
 #include "vm/vm_stats.h"
 
 namespace dpg::vm {
@@ -60,12 +61,16 @@ void* ShadowMapper::alias(const void* canonical_page, std::size_t len,
   if (strategy_ == AliasStrategy::kMemfd || fixed != nullptr) {
     // The MAP_FIXED reuse path always goes through the memfd: mremap cannot
     // place the duplicate at a chosen address without MREMAP_FIXED juggling.
-    return arena_.map_shadow(canonical_page, len, fixed);
+    void* shadow = arena_.map_shadow(canonical_page, len, fixed);
+    obs::record_event(obs::EventKind::kShadowMap, addr(shadow), page_up(len));
+    return shadow;
   }
+  obs::ScopedLatency lat(obs::Hist::kMremapNs);
   void* shadow = mremap(const_cast<void*>(canonical_page), 0, page_up(len),
                         MREMAP_MAYMOVE);
   syscall_counters().mremap.fetch_add(1, std::memory_order_relaxed);
   if (shadow == MAP_FAILED) throw std::bad_alloc{};
+  obs::record_event(obs::EventKind::kShadowMap, addr(shadow), page_up(len));
   return shadow;
 }
 

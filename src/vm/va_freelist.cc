@@ -2,12 +2,15 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace dpg::vm {
 
 void VaFreeList::put(PageRange range) {
   assert(page_offset(range.base) == 0);
   assert(range.length % kPageSize == 0);
   if (range.length == 0) return;
+  obs::record_event(obs::EventKind::kVaReclaim, range.base, range.pages());
   std::lock_guard lock(mu_);
   buckets_[range.pages()].push_back(range.base);
   bytes_ += range.length;

@@ -196,6 +196,27 @@ TEST_F(GuardedHeapTest, ZeroByteAllocationStillGuarded) {
   EXPECT_TRUE(report.has_value());
 }
 
+TEST(GuardedHeapBatching, ProtectCallsPlusSavedEqualsFrees) {
+  // With batching, merged mprotect calls are counted in protect_calls and
+  // every merge that elided a call in protect_calls_saved — together they
+  // must account for every free, so the batching books always balance.
+  vm::PhysArena arena(1u << 28);
+  GuardConfig cfg;
+  cfg.protect_batch = 8;
+  GuardedHeap heap(arena, cfg);
+  constexpr int kFrees = 100;  // not a multiple of the batch: tests the tail
+  std::vector<void*> ptrs;
+  for (int i = 0; i < kFrees; ++i) ptrs.push_back(heap.malloc(32));
+  for (void* p : ptrs) heap.free(p);
+  heap.engine().flush_protections();
+  const GuardStats stats = heap.stats();
+  EXPECT_EQ(stats.frees, static_cast<std::uint64_t>(kFrees));
+  EXPECT_EQ(stats.protect_calls + stats.protect_calls_saved, stats.frees);
+  // Batching must actually merge something at batch size 8.
+  EXPECT_GT(stats.protect_calls_saved, 0u);
+  EXPECT_LT(stats.protect_calls, stats.frees);
+}
+
 TEST(GuardedHeapBudget, FreedVaBudgetTriggersReclamation) {
   vm::PhysArena arena(1u << 28);
   GuardConfig cfg;
