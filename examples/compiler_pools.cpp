@@ -127,8 +127,12 @@ int main() {
   }
 
   std::printf("=== VA recycling on the fixed program (50 pool lifetimes) ===\n");
+  // The static analysis proves this program SAFE, so by default its sites
+  // would be elided and never touch shadow pages at all. VA recycling is
+  // what this section demonstrates — force full guarding.
   const TransformResult fixed = pool_allocate(parse_module(kFixed));
-  Interpreter loop_interp(fixed.module, {.backend = Backend::kGuarded});
+  Interpreter loop_interp(fixed.module, {.backend = Backend::kGuarded,
+                                         .honor_safety = false});
   (void)loop_interp.run();
   std::printf("live pools after run:    %zu\n", loop_interp.live_pools());
   std::printf("physical heap bytes:     %zu\n",

@@ -1,0 +1,28 @@
+# A provably-clean program: each iteration allocates a scratch buffer, uses
+# it, and frees it; no pointer survives the call. The static analysis proves
+# every site SAFE, so under the guarded runtime these allocations skip the
+# shadow alias entirely (counter dpg_guards_elided).
+#
+#   pirc --lint examples/pir/scratch.pir        # no findings, exit 0
+#   pirc examples/pir/scratch.pir -- 3          # prints 0 1 2
+func main(n) {
+  i = const 0
+loop:
+  c = lt i, n
+  cbr c, body, done
+body:
+  call handle(i)
+  one = const 1
+  i = add i, one
+  br loop
+done:
+  ret
+}
+func handle(v) {
+  p = malloc 2
+  setfield p, 0, v
+  x = getfield p, 0
+  out x
+  free p
+  ret
+}

@@ -20,6 +20,15 @@ Interpreter::Interpreter(const Module& module, InterpOptions options)
   if (opts_.backend == Backend::kGuarded) {
     ctx_ = std::make_unique<core::GuardedPoolContext>();
     global_pool_ = std::make_unique<core::GuardedPool>(*ctx_);
+    // The guard-elision contract: sites the static UAF analysis proved SAFE
+    // bypass the shadow engine entirely. The verifier (run above by default)
+    // has already checked the table is per-node/per-pool consistent, so
+    // elided pointers and guarded pointers never cross paths.
+    if (opts_.honor_safety) {
+      for (const SiteSafetyEntry& entry : module_.site_safety) {
+        if (entry.elided) elided_sites_.insert(entry.site);
+      }
+    }
   }
 }
 
@@ -59,6 +68,15 @@ std::uint64_t Interpreter::mem_alloc(core::GuardedPool* pool,
     return vm::addr(p);
   }
   core::GuardedPool* target = pool != nullptr ? pool : global_pool_.get();
+  if (elided_sites_.count(site) != 0) {
+    // SAFE-classified site: canonical pool memory, no shadow alias. Still
+    // zeroed (recycled canonical blocks hold stale bytes) and still bounded
+    // by the pool's lifetime.
+    void* p = target->alloc_unguarded(bytes, site);
+    guards_elided_++;
+    std::memset(p, 0, bytes);
+    return vm::addr(p);
+  }
   void* p = target->alloc(bytes, site);
   std::memset(p, 0, bytes);
   return vm::addr(p);
@@ -74,6 +92,12 @@ void Interpreter::mem_free(core::GuardedPool* pool, std::uint64_t addr,
     return;
   }
   core::GuardedPool* target = pool != nullptr ? pool : global_pool_.get();
+  if (elided_sites_.count(site) != 0) {
+    // Elision is per points-to node, so a pointer reaching an elided free
+    // site was allocated unguarded (verify_module enforces the pairing).
+    target->free_unguarded(reinterpret_cast<void*>(addr), site);
+    return;
+  }
   target->free(reinterpret_cast<void*>(addr), site);
 }
 

@@ -37,6 +37,11 @@ struct InterpOptions {
   std::uint64_t max_steps = 200'000'000;
   int max_depth = 500;
   bool verify = true;  // run verify_module() up front; throw on diagnostics
+  // Honor the module's SiteSafety guard-elision table: sites the static UAF
+  // analysis proved SAFE allocate straight from the canonical heap (no
+  // shadow alias, no PROT_NONE at free). Disable to force full guarding,
+  // e.g. to measure the elision win or distrust an external table.
+  bool honor_safety = true;
 };
 
 struct InterpResult {
@@ -65,6 +70,12 @@ class Interpreter {
   [[nodiscard]] core::GuardedPoolContext* context() noexcept { return ctx_.get(); }
   [[nodiscard]] std::size_t live_pools() const noexcept;
 
+  // Allocations served unguarded under the elision contract, accumulated
+  // across the interpreter's lifetime (pool destruction does not reset it).
+  [[nodiscard]] std::uint64_t guards_elided() const noexcept {
+    return guards_elided_;
+  }
+
  private:
   std::uint64_t call(const Function& fn, const std::vector<std::uint64_t>& args,
                      int depth);
@@ -82,6 +93,8 @@ class Interpreter {
   std::vector<std::unique_ptr<core::GuardedPool>> pools_;
   std::vector<std::uint64_t> globals_;
   std::unordered_set<std::uint64_t> native_live_;
+  std::unordered_set<std::uint32_t> elided_sites_;  // from module_.site_safety
+  std::uint64_t guards_elided_ = 0;
   std::uint64_t steps_ = 0;
   std::vector<std::uint64_t> output_;
 };

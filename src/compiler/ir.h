@@ -73,10 +73,39 @@ struct Function {
   [[nodiscard]] int num_regs() const { return static_cast<int>(reg_names.size()); }
 };
 
+// One row of the compiler->runtime guard-elision contract. The UAF analysis
+// (uaf_analysis.h) classifies every points-to node; the pool transformation
+// records one entry per alloc/free site of the transformed module. `elided`
+// means the static analysis proved the site's node free of temporal errors,
+// so the runtime may serve it from the canonical heap directly: no shadow
+// alias mmap at allocation, no PROT_NONE mprotect at free. Elision is a
+// per-node (hence per-pool) all-or-nothing property — verify_module rejects
+// tables where a guarded and an elided site share a node or a pool, which is
+// what guarantees an elided (canonical) pointer never reaches the guarded
+// poolfree path and vice versa.
+struct SiteSafetyEntry {
+  std::uint32_t site = 0;
+  int node = -1;        // points-to node root the site belongs to
+  int pool = -1;        // pool index from placement; -1 = default/global pool
+  bool is_free = false; // free/poolfree site (else alloc site)
+  bool elided = false;  // SAFE-classified: runtime skips guarding entirely
+};
+
 struct Module {
   std::vector<std::string> globals;  // named module-level word slots
   std::vector<Function> functions;
   std::unordered_map<std::string, int> function_index;
+
+  // Guard-elision contract; empty = everything guarded (the default for
+  // hand-written or untransformed modules).
+  std::vector<SiteSafetyEntry> site_safety;
+
+  [[nodiscard]] const SiteSafetyEntry* safety_of(std::uint32_t site) const {
+    for (const SiteSafetyEntry& entry : site_safety) {
+      if (entry.site == site) return &entry;
+    }
+    return nullptr;
+  }
 
   [[nodiscard]] const Function* find(const std::string& name) const {
     const auto it = function_index.find(name);

@@ -31,6 +31,14 @@ int PointsToAnalysis::fresh() {
 }
 
 int PointsToAnalysis::find(int element) const {
+  // Pure walk — no compression. A compressing find under `const` would be a
+  // data race for concurrent readers; the chains are short because every
+  // union during construction ran through find_mut's path halving.
+  while (parent_[element] != element) element = parent_[element];
+  return element;
+}
+
+int PointsToAnalysis::find_mut(int element) {
   while (parent_[element] != element) {
     parent_[element] = parent_[parent_[element]];  // path halving
     element = parent_[element];
@@ -39,14 +47,14 @@ int PointsToAnalysis::find(int element) const {
 }
 
 int PointsToAnalysis::pointee_of(int element) {
-  const int root = find(element);
+  const int root = find_mut(element);
   if (pointee_[root] < 0) pointee_[root] = fresh();
-  return find(pointee_[root]);
+  return find_mut(pointee_[root]);
 }
 
 void PointsToAnalysis::unite(int a, int b) {
-  a = find(a);
-  b = find(b);
+  a = find_mut(a);
+  b = find_mut(b);
   if (a == b) return;
   if (rank_[a] < rank_[b]) std::swap(a, b);
   if (rank_[a] == rank_[b]) rank_[a]++;

@@ -51,10 +51,14 @@ class PointsToAnalysis {
   // (includes nodes behind arbitrarily many field indirections).
   void collect_reachable(int element, std::set<int>& out) const;
 
+  // Pure root lookup: no path compression, so const queries are safe from
+  // any number of threads once construction finished. All unions (and their
+  // path-halving) happen during construction via find_mut().
   [[nodiscard]] int find(int element) const;
 
  private:
   int fresh();
+  int find_mut(int element);  // path-halving variant, construction only
   int pointee_of(int element);
   void unite(int a, int b);
   void constrain_function(const Module& module, int fn_index);
@@ -65,7 +69,7 @@ class PointsToAnalysis {
   };
 
   // Union-find state.
-  mutable std::vector<int> parent_;
+  std::vector<int> parent_;
   std::vector<int> rank_;
   std::vector<int> pointee_;  // -1 = none; meaningful at roots
   std::unordered_map<int, Info> info_;  // root -> metadata (moved on union)

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "compiler/uaf_analysis.h"
+
 namespace dpg::compiler {
 
 namespace {
@@ -85,6 +87,48 @@ std::vector<std::int64_t> infer_elem_sizes(const Module& module,
   return hints;
 }
 
+// The compiler->runtime guard-elision contract: one table row per alloc/free
+// site of the input program (site ids survive the rewrite untouched). A site
+// is elided exactly when the UAF analysis found its whole points-to node free
+// of temporal errors; since pools partition by node, elision is automatically
+// uniform per pool — the invariant verify_module re-checks after surgery.
+std::vector<SiteSafetyEntry> build_site_safety(const Module& input,
+                                               const PointsToAnalysis& pta,
+                                               const EscapeResult& placement,
+                                               const UafAnalysis& uaf) {
+  std::vector<SiteSafetyEntry> table;
+  const auto pool_of = [&](int node) {
+    const auto it = placement.node_to_pool.find(node);
+    return it == placement.node_to_pool.end() ? -1 : it->second;
+  };
+  for (std::size_t f = 0; f < input.functions.size(); ++f) {
+    for (const Instr& ins : input.functions[f].body) {
+      SiteSafetyEntry entry;
+      switch (ins.op) {
+        case Op::kMalloc:
+        case Op::kPoolAlloc:
+          entry.node = pta.node_of_site(ins.site);
+          break;
+        case Op::kFree:
+        case Op::kPoolFree: {
+          const int ptr_reg = ins.op == Op::kFree ? ins.a : ins.b;
+          const int element = pta.var_element(static_cast<int>(f), ptr_reg);
+          entry.node = pta.pointee_node(element);
+          entry.is_free = true;
+          break;
+        }
+        default:
+          continue;
+      }
+      entry.site = ins.site;
+      entry.pool = entry.node >= 0 ? pool_of(entry.node) : -1;
+      entry.elided = uaf.node_safe(entry.node);
+      table.push_back(entry);
+    }
+  }
+  return table;
+}
+
 }  // namespace
 
 TransformResult pool_allocate(const Module& input) {
@@ -92,9 +136,11 @@ TransformResult pool_allocate(const Module& input) {
   EscapeResult placement = place_pools(input, pta);
   const std::vector<std::set<int>> need = compute_needs(input, placement);
   const std::vector<std::int64_t> elem_hints = infer_elem_sizes(input, placement);
+  const UafAnalysis uaf(input, pta);
 
   Module out;
   out.globals = input.globals;
+  out.site_safety = build_site_safety(input, pta, placement, uaf);
 
   const int nfun = static_cast<int>(input.functions.size());
   for (int f = 0; f < nfun; ++f) {

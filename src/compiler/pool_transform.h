@@ -22,11 +22,15 @@
 namespace dpg::compiler {
 
 struct TransformResult {
-  Module module;          // the transformed program
+  Module module;          // the transformed program (carries the SiteSafety
+                          // guard-elision table, see ir.h / uaf_analysis.h)
   EscapeResult placement; // which pools exist, where they live, who uses them
 };
 
-// Full pipeline: points-to -> escape/pool placement -> rewrite.
+// Full pipeline: points-to -> escape/pool placement -> UAF classification ->
+// rewrite. The returned module's site_safety table marks every site whose
+// points-to node the static analysis proved temporally safe; the guarded
+// interpreter serves those sites unguarded (no shadow mmap / mprotect).
 [[nodiscard]] TransformResult pool_allocate(const Module& input);
 
 }  // namespace dpg::compiler

@@ -19,6 +19,7 @@ class Verifier {
     for (const Function& fn : module_.functions) {
       check_function(fn, sites);
     }
+    check_site_safety();
     return std::move(diagnostics_);
   }
 
@@ -186,6 +187,70 @@ class Verifier {
           need_b();
           need_site();
           break;
+      }
+    }
+  }
+
+  // The guard-elision contract must survive IR surgery: every table entry
+  // names a real site, no site appears twice, every alloc/free site is
+  // covered, and elision is uniform per points-to node and per pool — so an
+  // elided (canonical, unguarded) pointer can never reach the poolfree of a
+  // guarded pool, nor a guarded (shadow) pointer an elided free.
+  void check_site_safety() {
+    if (module_.site_safety.empty()) return;  // contract absent: all guarded
+
+    std::unordered_map<std::uint32_t, Op> site_ops;
+    for (const Function& fn : module_.functions) {
+      for (const Instr& ins : fn.body) {
+        if (ins.op == Op::kMalloc || ins.op == Op::kFree ||
+            ins.op == Op::kPoolAlloc || ins.op == Op::kPoolFree) {
+          site_ops.emplace(ins.site, ins.op);
+        }
+      }
+    }
+
+    std::set<std::uint32_t> seen;
+    std::unordered_map<int, bool> node_elided;
+    std::unordered_map<int, bool> pool_elided;
+    for (const SiteSafetyEntry& entry : module_.site_safety) {
+      std::ostringstream where;
+      where << "site_safety[site " << entry.site << "]";
+      if (!seen.insert(entry.site).second) {
+        fail(where.str(), "duplicate site entry");
+        continue;
+      }
+      const auto op_it = site_ops.find(entry.site);
+      if (op_it == site_ops.end()) {
+        fail(where.str(), "site does not exist in the module");
+        continue;
+      }
+      const bool is_free_op =
+          op_it->second == Op::kFree || op_it->second == Op::kPoolFree;
+      if (entry.is_free != is_free_op) {
+        fail(where.str(), "alloc/free kind disagrees with the instruction");
+      }
+      if (entry.node >= 0) {
+        const auto [it, inserted] = node_elided.emplace(entry.node, entry.elided);
+        if (!inserted && it->second != entry.elided) {
+          fail(where.str(), "node mixes elided and guarded sites");
+        }
+      } else if (entry.elided) {
+        fail(where.str(), "elided site has no points-to node");
+      }
+      if (entry.pool >= 0) {
+        const auto [it, inserted] = pool_elided.emplace(entry.pool, entry.elided);
+        if (!inserted && it->second != entry.elided) {
+          fail(where.str(),
+               "pool mixes elided and guarded sites (elided site would reach "
+               "a guarded pool)");
+        }
+      }
+    }
+    for (const auto& [site, op] : site_ops) {
+      if (seen.count(site) == 0) {
+        std::ostringstream where;
+        where << "site_safety[site " << site << "]";
+        fail(where.str(), "alloc/free site missing from the safety table");
       }
     }
   }

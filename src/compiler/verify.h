@@ -24,6 +24,10 @@ namespace dpg::compiler {
 //   - calls name existing functions with matching arity
 //   - site ids on malloc/free/poolalloc/poolfree are unique module-wide
 //   - pool instructions carry their required operands
+//   - when a guard-elision table (Module::site_safety) is present: every
+//     entry names an existing site exactly once, every alloc/free site has
+//     an entry, and elision is uniform per points-to node and per pool, so
+//     elided sites never reach the poolfree of a guarded pool
 [[nodiscard]] std::vector<std::string> verify_module(const Module& module);
 
 }  // namespace dpg::compiler

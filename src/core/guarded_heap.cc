@@ -47,6 +47,21 @@ void* ShadowEngine::calloc(std::size_t count, std::size_t size, SiteId site) {
   return p;
 }
 
+void* ShadowEngine::malloc_unguarded(std::size_t size, SiteId site) {
+  (void)site;  // diagnostics parity with malloc; nothing to record per object
+  std::lock_guard lock(mu_);
+  void* p = under_.malloc(size);
+  stats_.guards_elided.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+void ShadowEngine::free_unguarded(void* p, SiteId site) {
+  (void)site;
+  if (p == nullptr) return;
+  std::lock_guard lock(mu_);
+  under_.free(p);
+}
+
 void* ShadowEngine::realloc(void* p, std::size_t new_size, SiteId site) {
   if (p == nullptr) return malloc(new_size, site);
   std::unique_lock lock(mu_);

@@ -84,6 +84,15 @@ class ShadowEngine {
   // detected exactly like a free.
   [[nodiscard]] void* realloc(void* p, std::size_t new_size, SiteId site = 0);
 
+  // Guard-elision fast path: serve the request straight from the underlying
+  // (canonical) allocator — no shadow alias, no registry record, and the
+  // matching free_unguarded issues no mprotect. Legal only for allocation
+  // sites a static analysis classified SAFE (see compiler/uaf_analysis.h);
+  // pointers from this path MUST be released via free_unguarded, never
+  // free(). Counted in stats().guards_elided.
+  [[nodiscard]] void* malloc_unguarded(std::size_t size, SiteId site = 0);
+  void free_unguarded(void* p, SiteId site = 0);
+
   // Applies any deferred batched protections now (no-op when
   // protect_batch == 0 or nothing is pending).
   void flush_protections();

@@ -66,6 +66,17 @@ class GuardedPool {
     return engine_.malloc(size, site);
   }
   void free(void* p, SiteId site = 0) { engine_.free(p, site); }
+
+  // Guard-elision path for sites the static UAF analysis proved SAFE:
+  // canonical pool memory, no shadow alias, no PROT_NONE at free. Lifetime
+  // is still bounded by pooldestroy (the canonical extents are recycled),
+  // so elided allocations cost exactly what plain pool allocation costs.
+  [[nodiscard]] void* alloc_unguarded(std::size_t size, SiteId site = 0) {
+    return engine_.malloc_unguarded(size, site);
+  }
+  void free_unguarded(void* p, SiteId site = 0) {
+    engine_.free_unguarded(p, site);
+  }
   [[nodiscard]] void* calloc(std::size_t count, std::size_t size,
                              SiteId site = 0) {
     return engine_.calloc(count, size, site);

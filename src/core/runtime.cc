@@ -26,6 +26,7 @@ void Runtime::export_counters() noexcept {
   obs::register_counter("dpg_invalid_frees", &c.invalid_frees);
   obs::register_counter("dpg_protect_calls", &c.protect_calls);
   obs::register_counter("dpg_protect_calls_saved", &c.protect_calls_saved);
+  obs::register_counter("dpg_guards_elided", &c.guards_elided);
   obs::register_counter("dpg_live_records", &c.live_records);
   obs::register_counter("dpg_guarded_bytes", &c.guarded_bytes);
 }

@@ -41,6 +41,10 @@ struct GuardStats {
   std::uint64_t invalid_frees = 0;
   std::uint64_t protect_calls = 0;        // mprotect calls actually issued
   std::uint64_t protect_calls_saved = 0;  // frees amortized by batching
+  std::uint64_t guards_elided = 0;        // allocations served unguarded
+                                           // (static analysis proved the
+                                           // site SAFE; no shadow alias, no
+                                           // PROT_NONE at free)
   std::size_t live_records = 0;            // live + freed-but-still-guarded
   std::size_t guarded_bytes = 0;           // shadow span bytes currently held
 };
@@ -56,6 +60,7 @@ struct GuardCounters {
   std::atomic<std::uint64_t> invalid_frees{0};
   std::atomic<std::uint64_t> protect_calls{0};
   std::atomic<std::uint64_t> protect_calls_saved{0};
+  std::atomic<std::uint64_t> guards_elided{0};
   std::atomic<std::uint64_t> live_records{0};
   std::atomic<std::uint64_t> guarded_bytes{0};
 
@@ -71,6 +76,7 @@ struct GuardCounters {
     s.protect_calls = protect_calls.load(std::memory_order_relaxed);
     s.protect_calls_saved =
         protect_calls_saved.load(std::memory_order_relaxed);
+    s.guards_elided = guards_elided.load(std::memory_order_relaxed);
     s.live_records = static_cast<std::size_t>(
         live_records.load(std::memory_order_relaxed));
     s.guarded_bytes = static_cast<std::size_t>(

@@ -1,10 +1,20 @@
 #include "vm/va_freelist.h"
 
+#include <sys/mman.h>
+
 #include <cassert>
 
 #include "obs/metrics.h"
+#include "vm/vm_stats.h"
 
 namespace dpg::vm {
+
+VaFreeList::~VaFreeList() {
+  drain([](PageRange r) {
+    ::munmap(reinterpret_cast<void*>(r.base), r.length);
+    syscall_counters().munmap.fetch_add(1, std::memory_order_relaxed);
+  });
+}
 
 void VaFreeList::put(PageRange range) {
   assert(page_offset(range.base) == 0);

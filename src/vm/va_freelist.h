@@ -28,6 +28,15 @@ namespace dpg::vm {
 
 class VaFreeList {
  public:
+  VaFreeList() = default;
+  // Held ranges are still-mapped PROT_NONE/RW spans; munmap them so a
+  // destroyed owner (heap, pool context) hands its addresses back to the
+  // kernel instead of leaking one VMA per range for the process lifetime.
+  ~VaFreeList();
+
+  VaFreeList(const VaFreeList&) = delete;
+  VaFreeList& operator=(const VaFreeList&) = delete;
+
   // Donates a mapped, page-aligned range for future reuse.
   void put(PageRange range);
 

@@ -12,6 +12,10 @@
 #include <string>
 #include <vector>
 
+// Every bug below is deliberate — the binary exists to trigger them under
+// the interposer — so the compiler's (correct) UAF diagnosis is noise here.
+#pragma GCC diagnostic ignored "-Wuse-after-free"
+
 namespace {
 
 // The optimizer is entitled to delete UB (a store to freed memory is a dead

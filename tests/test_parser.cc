@@ -161,7 +161,7 @@ TEST(Parser, ErrorOnGarbageTopLevel) {
 
 TEST(Parser, ErrorReportsLineNumber) {
   try {
-    parse_module("func main() {\n  x = bogus y\n  ret\n}");
+    static_cast<void>(parse_module("func main() {\n  x = bogus y\n  ret\n}"));
     FAIL() << "expected ParseError";
   } catch (const ParseError& e) {
     EXPECT_EQ(e.line(), 2);

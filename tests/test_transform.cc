@@ -69,10 +69,13 @@ TEST(Transform, Figure1DanglingDetectedUnderGuardedPools) {
 
 TEST(Transform, RepeatedPoolLifetimesRecycleVa) {
   // Calling leaf() in a loop: each call's pool returns its pages. After the
-  // program runs, all pool VAs are recyclable and no pools leak.
+  // program runs, all pool VAs are recyclable and no pools leak. The static
+  // analysis proves this program SAFE (its sites would be elided and leave
+  // no shadow pages), so force full guarding — VA recycling is the subject.
   const Module m = parse_module(dpg::testing::kLocalPool);
   const TransformResult result = pool_allocate(m);
-  Interpreter interp(result.module, {.backend = Backend::kGuarded});
+  Interpreter interp(result.module,
+                     {.backend = Backend::kGuarded, .honor_safety = false});
   const InterpResult out = interp.run();
   EXPECT_EQ(out.output.size(), 5u);
   EXPECT_EQ(interp.live_pools(), 0u);

@@ -56,7 +56,7 @@ TEST_P(WorkloadEquivalence, AllPoliciesComputeIdenticalChecksums) {
 
 INSTANTIATE_TEST_SUITE_P(All, WorkloadEquivalence,
                          ::testing::ValuesIn(all_workloads()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& test_info) { return test_info.param; });
 
 class WorkloadDeterminism : public ::testing::TestWithParam<std::string> {};
 
@@ -71,7 +71,7 @@ TEST_P(WorkloadDeterminism, RepeatRunsAreIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(All, WorkloadDeterminism,
                          ::testing::ValuesIn(all_workloads()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& test_info) { return test_info.param; });
 
 TEST(WorkloadSanity, BisortActuallySorts) {
   EXPECT_TRUE(workloads::olden::Bisort<NativePolicy>::sorts_correctly(8));
