@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/degrade.h"
 #include "core/guarded_heap.h"
 #include "core/guarded_pool.h"
+#include "vm/sys.h"
 #include "vm/vm_stats.h"
 
 using namespace dpg;
@@ -143,6 +145,33 @@ int main() {
     row(label, churn(batched, 64));
   }
 
+  // What each rung of the degradation ladder costs/saves, and what a churn
+  // loop looks like while the kernel intermittently refuses mmap. Sticky
+  // governors (recover_after = 0) keep the forced rung from healing mid-run.
+  std::printf("\n--- degradation ladder (core/degrade.h) ---\n");
+  {
+    core::DegradationGovernor gov({.recover_after = 0});
+    gov.force_mode(core::GuardMode::kQuarantineOnly);
+    core::GuardConfig cfg = base;
+    cfg.governor = &gov;
+    row("forced quarantine-only", churn(cfg, 64));
+  }
+  {
+    core::DegradationGovernor gov({.recover_after = 0});
+    gov.force_mode(core::GuardMode::kUnguarded);
+    core::GuardConfig cfg = base;
+    cfg.governor = &gov;
+    row("forced unguarded (last resort)", churn(cfg, 64));
+  }
+  {
+    core::DegradationGovernor gov;
+    core::GuardConfig cfg = base;
+    cfg.governor = &gov;
+    (void)vm::sys::set_fault_plan("mmap:errno=ENOMEM:every=50");
+    row("injected mmap ENOMEM every=50", churn(cfg, 64));
+    vm::sys::clear_fault_plan();
+  }
+
   std::printf("\n--- wave frees (teardown-like: adjacent spans merge) ---\n");
   row("no batch, waves", wave_churn(base, 64));
   for (const std::size_t batch : {std::size_t{64}, std::size_t{256}}) {
@@ -158,6 +187,10 @@ int main() {
               "mprotect), at the cost of a bounded detection-delay window.\n"
               "Guard pages add ~one mmap per allocation for spatial traps.\n"
               "The elided row is the static-analysis dividend: a SAFE site\n"
-              "skips the shadow alias and the PROT_NONE revocation entirely.\n");
+              "skips the shadow alias and the PROT_NONE revocation entirely.\n"
+              "Degraded rungs trade detection for survival: quarantine-only\n"
+              "drops the per-pair syscalls to ~zero while parking freed\n"
+              "memory; unguarded is plain allocator speed. The injected row\n"
+              "shows the governor riding out intermittent kernel refusals.\n");
   return 0;
 }

@@ -1,0 +1,158 @@
+#include "core/degrade.h"
+
+#include <cstdio>
+
+#include "obs/env.h"
+#include "obs/metrics.h"
+
+namespace dpg::core {
+
+namespace {
+
+constexpr std::size_t kKernelDefaultMapCount = 65530;
+constexpr std::uint64_t kMaxBackoff = 64;
+
+// Reads /proc/sys/vm/max_map_count without touching the heap (this can run
+// during the first allocation under the preload depth guard).
+std::size_t read_max_map_count() noexcept {
+  std::FILE* f = std::fopen("/proc/sys/vm/max_map_count", "re");
+  if (f == nullptr) return kKernelDefaultMapCount;
+  char buf[32] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  std::size_t v = 0;
+  for (std::size_t i = 0; i < n && buf[i] >= '0' && buf[i] <= '9'; ++i) {
+    v = v * 10 + static_cast<std::size_t>(buf[i] - '0');
+  }
+  return v != 0 ? v : kKernelDefaultMapCount;
+}
+
+}  // namespace
+
+DegradationGovernor::DegradationGovernor(GovernorConfig cfg) : cfg_(cfg) {
+  budget_ = cfg_.vma_budget != 0 ? cfg_.vma_budget : read_max_map_count();
+  high_mark_ = static_cast<std::size_t>(static_cast<double>(budget_) *
+                                        cfg_.high_water);
+  low_mark_ = static_cast<std::size_t>(static_cast<double>(budget_) *
+                                       cfg_.low_water);
+  if (high_mark_ == 0) high_mark_ = 1;
+}
+
+DegradationGovernor& DegradationGovernor::process() {
+  // Leaked intentionally: engines and the metrics exporter hold pointers for
+  // the process lifetime (including static destruction).
+  static DegradationGovernor* g = [] {
+    GovernorConfig cfg;
+    cfg.vma_budget = static_cast<std::size_t>(obs::env_long(
+        "DPG_VMA_BUDGET", 0, 0, 1L << 40));
+    cfg.recover_after = static_cast<std::uint64_t>(obs::env_long(
+        "DPG_DEGRADE_RECOVER_AFTER", 4096, 0, 1L << 40));
+    cfg.quarantine_bytes = static_cast<std::size_t>(obs::env_long(
+        "DPG_QUARANTINE_BYTES", long{64} << 20, 0, 1L << 40));
+    auto* gov = new DegradationGovernor(cfg);
+    const GovernorCounters& c = gov->counters();
+    obs::register_counter("dpg_degrade_transitions", &c.transitions);
+    obs::register_counter("dpg_degrade_mode", &c.mode);
+    obs::register_counter("dpg_degrade_syscall_failures", &c.syscall_failures);
+    obs::register_counter("dpg_degrade_arena_failures", &c.arena_failures);
+    obs::register_counter("dpg_degrade_recoveries", &c.recoveries);
+    obs::register_counter("dpg_degrade_vma_estimate", &c.vma_estimate);
+    obs::register_counter("dpg_degraded_allocs", &c.degraded_allocs);
+    obs::register_counter("dpg_guard_errors", &c.guard_errors);
+    return gov;
+  }();
+  return *g;
+}
+
+void DegradationGovernor::shift_mode(GuardMode to, const char* why,
+                                     bool is_recovery) noexcept {
+  std::lock_guard lock(transition_mu_);
+  const GuardMode from = mode();
+  if (from == to) return;
+  mode_.store(static_cast<int>(to), std::memory_order_relaxed);
+  ctr_.mode.store(static_cast<std::uint64_t>(to), std::memory_order_relaxed);
+  ctr_.transitions.fetch_add(1, std::memory_order_relaxed);
+  if (is_recovery) {
+    ctr_.recoveries.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // A demotion restarts the recovery clock; if we had recovered before,
+    // this is a relapse — require a longer clean streak next time.
+    ok_streak_.store(0, std::memory_order_relaxed);
+    if (ctr_.recoveries.load(std::memory_order_relaxed) != 0) {
+      const std::uint64_t b = backoff_.load(std::memory_order_relaxed);
+      if (b < kMaxBackoff) backoff_.store(b * 2, std::memory_order_relaxed);
+    }
+  }
+  obs::record_event(obs::EventKind::kDegrade,
+                    static_cast<std::uint64_t>(to),
+                    static_cast<std::uint64_t>(from));
+  std::fprintf(stderr, "dpguard: guard policy %s -> %s (%s)\n",
+               to_string(from), to_string(to), why);
+}
+
+GuardMode DegradationGovernor::on_alloc() noexcept {
+  const GuardMode m = mode();
+  const std::uint64_t est = ctr_.vma_estimate.load(std::memory_order_relaxed);
+  if (m == GuardMode::kFullGuard) {
+    if (est >= high_mark_) {
+      // Proactive: stop minting VMAs before the kernel starts refusing them.
+      shift_mode(GuardMode::kQuarantineOnly, "vma-pressure",
+                 /*is_recovery=*/false);
+      return GuardMode::kQuarantineOnly;
+    }
+    return m;
+  }
+  if (cfg_.recover_after == 0) return m;
+  const std::uint64_t streak =
+      ok_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t need =
+      cfg_.recover_after * backoff_.load(std::memory_order_relaxed);
+  if (streak >= need && est <= low_mark_) {
+    ok_streak_.store(0, std::memory_order_relaxed);
+    shift_mode(static_cast<GuardMode>(static_cast<int>(m) - 1), "hysteresis",
+               /*is_recovery=*/true);
+    return mode();
+  }
+  return m;
+}
+
+void DegradationGovernor::on_syscall_failure(const char* what,
+                                             int err) noexcept {
+  (void)err;
+  ctr_.syscall_failures.fetch_add(1, std::memory_order_relaxed);
+  const GuardMode m = mode();
+  if (m == GuardMode::kUnguarded) return;  // already at the bottom
+  shift_mode(static_cast<GuardMode>(static_cast<int>(m) + 1), what,
+             /*is_recovery=*/false);
+}
+
+void DegradationGovernor::on_arena_exhausted() noexcept {
+  ctr_.arena_failures.fetch_add(1, std::memory_order_relaxed);
+  // Physical exhaustion: guarding costs nothing physical beyond the header
+  // word, so no rung change here — the engine drains its quarantine and
+  // retries; a repeat failure surfaces as malloc returning nullptr, which is
+  // the C contract the host already handles.
+}
+
+void DegradationGovernor::add_vmas(long delta) noexcept {
+  if (delta >= 0) {
+    ctr_.vma_estimate.fetch_add(static_cast<std::uint64_t>(delta),
+                                std::memory_order_relaxed);
+    return;
+  }
+  const auto dec = static_cast<std::uint64_t>(-delta);
+  std::uint64_t cur = ctr_.vma_estimate.load(std::memory_order_relaxed);
+  while (!ctr_.vma_estimate.compare_exchange_weak(
+      cur, cur >= dec ? cur - dec : 0, std::memory_order_relaxed)) {
+  }
+}
+
+void DegradationGovernor::force_mode(GuardMode m) noexcept {
+  shift_mode(m, "forced", static_cast<int>(m) < static_cast<int>(mode()));
+}
+
+void note_guard_error() noexcept {
+  DegradationGovernor::process().count_guard_error();
+}
+
+}  // namespace dpg::core

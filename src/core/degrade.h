@@ -1,0 +1,157 @@
+// DegradationGovernor — resource-exhaustion policy for the guard runtime.
+//
+// The paper's design spends one VMA per live object plus a PROT_NONE VMA per
+// freed-but-still-guarded object, so a busy server walks straight into
+// vm.max_map_count (we hit it in benches) and any mmap/mprotect refusal used
+// to surface as an exception through malloc. Production-grade UAF defenses
+// treat exhaustion as a first-class state with a safe fallback; this
+// governor is that state machine. The host application keeps serving traffic
+// no matter what the kernel refuses — detection degrades, never the server.
+//
+// The ladder (one-way rungs downward, hysteresis upward):
+//
+//   kFullGuard       every allocation gets a shadow alias; frees revoke via
+//                    PROT_NONE. Full detection (the paper's mode).
+//   kQuarantineOnly  no new shadow aliases (no mmap, no new VMAs); frees of
+//                    degraded objects enter a delayed-reuse quarantine so
+//                    stale pointers dereference stale-but-unreused memory
+//                    instead of a neighbour's data. Already-guarded objects
+//                    keep their guarantees.
+//   kUnguarded       straight passthrough to the underlying allocator —
+//                    last resort when even bookkeeping-free operation is all
+//                    the kernel will give us.
+//
+// Invariant (DESIGN.md §10): degradation may *suspend* detection, never
+// falsify it — no mode ever produces a false positive, and objects guarded
+// before a downgrade still trap correctly after it.
+//
+// Triggers down: a shim syscall failure on the guard path, arena growth
+// failure (after the relief retry), or the live-VMA estimate crossing the
+// high-water fraction of the budget (parsed from /proc/sys/vm/max_map_count,
+// overridable via DPG_VMA_BUDGET). Recovery up: after `recover_after`
+// consecutive clean allocations with the VMA estimate below the low-water
+// mark, one rung is retried; each relapse doubles the required streak
+// (bounded exponential backoff), so a persistently refusing kernel costs one
+// probe per epoch, not a flap per request.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace dpg::core {
+
+enum class GuardMode : int {
+  kFullGuard = 0,
+  kQuarantineOnly = 1,
+  kUnguarded = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(GuardMode m) noexcept {
+  switch (m) {
+    case GuardMode::kFullGuard: return "full-guard";
+    case GuardMode::kQuarantineOnly: return "quarantine-only";
+    case GuardMode::kUnguarded: return "unguarded";
+  }
+  return "?";
+}
+
+struct GovernorConfig {
+  // Live-VMA budget. 0 = read /proc/sys/vm/max_map_count at construction
+  // (DPG_VMA_BUDGET overrides for the process-wide governor); if neither is
+  // available, a conservative 65530 (the kernel default) is assumed.
+  std::size_t vma_budget = 0;
+  double high_water = 0.85;  // degrade when estimate/budget crosses this
+  double low_water = 0.50;   // recovery requires estimate below this
+  // Clean allocations required before retrying one rung up. 0 disables
+  // recovery (sticky degradation).
+  std::uint64_t recover_after = 4096;
+  // Delayed-reuse quarantine budget for degraded frees (bytes).
+  std::size_t quarantine_bytes = std::size_t{64} << 20;
+};
+
+// Live counters, exported by the process-wide instance as dpg_degrade_* /
+// dpg_guard_errors. All relaxed: diagnostics, not synchronization.
+struct GovernorCounters {
+  std::atomic<std::uint64_t> transitions{0};      // demotions + promotions
+  std::atomic<std::uint64_t> mode{0};             // current rung (gauge)
+  std::atomic<std::uint64_t> syscall_failures{0};
+  std::atomic<std::uint64_t> arena_failures{0};
+  std::atomic<std::uint64_t> recoveries{0};       // promotions only
+  std::atomic<std::uint64_t> vma_estimate{0};     // live guard VMAs (gauge)
+  std::atomic<std::uint64_t> degraded_allocs{0};  // served without a guard
+  std::atomic<std::uint64_t> guard_errors{0};     // C-boundary catches
+};
+
+class DegradationGovernor {
+ public:
+  explicit DegradationGovernor(GovernorConfig cfg = {});
+
+  DegradationGovernor(const DegradationGovernor&) = delete;
+  DegradationGovernor& operator=(const DegradationGovernor&) = delete;
+
+  // Process-wide instance (env-configured, counters registered with dpg_obs).
+  // Engines with no explicit governor share this one.
+  static DegradationGovernor& process();
+
+  [[nodiscard]] GuardMode mode() const noexcept {
+    return static_cast<GuardMode>(mode_.load(std::memory_order_relaxed));
+  }
+
+  // Consulted once per allocation: applies the VMA-pressure check, advances
+  // the recovery streak, and returns the mode this allocation must use.
+  GuardMode on_alloc() noexcept;
+
+  // A guard-path syscall was refused (post-relief): drop one rung.
+  void on_syscall_failure(const char* what, int err) noexcept;
+
+  // Arena growth failed even after relief: physical exhaustion. Drops to
+  // kUnguarded only if quarantined memory cannot be returned (the engine
+  // drains its quarantine first and retries; this is the last-resort note).
+  void on_arena_exhausted() noexcept;
+
+  // Guard-VMA accounting from the engines (coarse: one per fresh shadow
+  // span / trailing-guard region, minus one per munmap).
+  void add_vmas(long delta) noexcept;
+
+  [[nodiscard]] std::size_t vma_budget() const noexcept { return budget_; }
+  [[nodiscard]] std::size_t quarantine_budget() const noexcept {
+    return cfg_.quarantine_bytes;
+  }
+  [[nodiscard]] const GovernorCounters& counters() const noexcept {
+    return ctr_;
+  }
+
+  // Test/bench hook: pin the ladder to a rung (counts as a transition when
+  // the rung actually changes).
+  void force_mode(GuardMode m) noexcept;
+
+  // Bumps the guard-error counter (C-boundary catches; see note_guard_error).
+  void count_guard_error() noexcept {
+    ctr_.guard_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Bumps the process-wide degraded-allocation gauge (engines report in).
+  void count_degraded_alloc() noexcept {
+    ctr_.degraded_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  void shift_mode(GuardMode to, const char* why, bool is_recovery) noexcept;
+
+  GovernorConfig cfg_;
+  std::size_t budget_ = 0;
+  std::size_t high_mark_ = 0;
+  std::size_t low_mark_ = 0;
+  std::atomic<int> mode_{0};
+  std::atomic<std::uint64_t> ok_streak_{0};
+  std::atomic<std::uint64_t> backoff_{1};  // doubles per relapse, capped
+  std::mutex transition_mu_;
+  GovernorCounters ctr_;
+};
+
+// Records a guard-layer error swallowed at a C boundary (LD_PRELOAD paths):
+// bumps the process governor's dpg_guard_errors counter.
+void note_guard_error() noexcept;
+
+}  // namespace dpg::core

@@ -2,6 +2,7 @@
 
 #include <signal.h>
 #include <string.h>
+#include <sys/mman.h>
 #include <ucontext.h>
 #include <unistd.h>
 
@@ -24,6 +25,67 @@ using obs::fmt::put_str;
 std::atomic<FaultManager::Callback> g_callback{nullptr};
 std::atomic<std::uint64_t> g_detections{0};
 thread_local FaultManager::Probe t_probe;
+
+// Set while the fault path runs on this thread. A second fault with the flag
+// up means the handler itself faulted — recursing would just re-enter until
+// the kernel gives up, so bail with a minimal async-safe note instead.
+thread_local volatile sig_atomic_t t_in_fault = 0;
+
+[[noreturn]] void nested_fault_bail() {
+  static const char msg[] =
+      "dpguard: fault inside the fault handler; minimal report, exiting\n";
+  [[maybe_unused]] ssize_t rc = write(STDERR_FILENO, msg, sizeof msg - 1);
+  _exit(134);  // 128 + SIGABRT: reads like the abort the full path would take
+}
+
+// write_report needs ~12 KiB of stack frames (report + metrics buffers);
+// MINSIGSTKSZ would not cover them, and the whole point is surviving traps
+// taken at the edge of an exhausted thread stack.
+constexpr std::size_t kAltStackBytes = 256 * 1024;
+
+// Per-thread alternate signal stack, armed on construction and torn down at
+// thread exit. Deliberately raw mmap, not the vm/sys shim: an injected fault
+// plan must never be able to disarm the crash path itself.
+class AltStack {
+ public:
+  AltStack() noexcept {
+    void* p = mmap(nullptr, kAltStackBytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) return;  // SA_ONSTACK with no stack = plain delivery
+    stack_t ss{};
+    ss.ss_sp = p;
+    ss.ss_size = kAltStackBytes;
+    if (sigaltstack(&ss, &prev_) == 0) {
+      base_ = p;
+    } else {
+      munmap(p, kAltStackBytes);
+    }
+  }
+
+  ~AltStack() {
+    if (base_ == nullptr) return;
+    if ((prev_.ss_flags & SS_DISABLE) != 0 || prev_.ss_sp == nullptr) {
+      stack_t off{};
+      off.ss_flags = SS_DISABLE;
+      sigaltstack(&off, nullptr);
+    } else {
+      sigaltstack(&prev_, nullptr);
+    }
+    munmap(base_, kAltStackBytes);
+  }
+
+  AltStack(const AltStack&) = delete;
+  AltStack& operator=(const AltStack&) = delete;
+
+ private:
+  void* base_ = nullptr;
+  stack_t prev_{};
+};
+
+// Chain targets: whatever SIGSEGV/SIGBUS dispositions were installed before
+// ours. Written once under install()'s once-flag (or reinstall_for_testing).
+struct sigaction g_prev_segv{};
+struct sigaction g_prev_bus{};
 
 void write_report(const DanglingReport& r) {
   char buf[4096];
@@ -76,6 +138,8 @@ void write_report(const DanglingReport& r) {
 }
 
 [[noreturn]] void dispatch(const DanglingReport& incoming) {
+  if (t_in_fault != 0) nested_fault_bail();
+  t_in_fault = 1;
   g_detections.fetch_add(1, std::memory_order_relaxed);
   // Enrich with the faulting thread's flight-recorder tail. The fault event
   // itself is recorded first so it is always the newest entry.
@@ -87,6 +151,7 @@ void write_report(const DanglingReport& r) {
       obs::capture_recent(report.recent_trace, DanglingReport::kTraceDepth);
   if (t_probe.armed != 0) {
     t_probe.report = report;
+    t_in_fault = 0;  // probe recovery resumes normal execution
     siglongjmp(t_probe.env, 1);
   }
   if (FaultManager::Callback cb = g_callback.load(std::memory_order_acquire)) {
@@ -116,11 +181,31 @@ void reraise_default(int signo) {
   // Returning re-executes the faulting instruction under SIG_DFL.
 }
 
+// A fault that is not ours goes to whoever owned the signal before install():
+// SA_SIGINFO handlers get the full context, classic handlers the signo. An
+// inherited SIG_IGN is honored by returning (the access re-faults, but that
+// is exactly the prior owner's chosen semantics for a present handler);
+// SIG_DFL falls through to reraise_default.
+void chain_previous(int signo, siginfo_t* info, void* uctx) {
+  const struct sigaction& prev = signo == SIGBUS ? g_prev_bus : g_prev_segv;
+  if ((prev.sa_flags & SA_SIGINFO) != 0) {
+    if (prev.sa_sigaction != nullptr) {
+      prev.sa_sigaction(signo, info, uctx);
+      return;
+    }
+  } else if (prev.sa_handler != SIG_DFL) {
+    if (prev.sa_handler != SIG_IGN) prev.sa_handler(signo);
+    return;
+  }
+  reraise_default(signo);
+}
+
 void on_fault(int signo, siginfo_t* info, void* uctx) {
+  if (t_in_fault != 0) nested_fault_bail();
   const auto addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
   const ObjectRecord* rec = ShadowRegistry::global().lookup(addr);
   if (rec == nullptr) {
-    reraise_default(signo);
+    chain_previous(signo, info, uctx);
     return;
   }
   const ObjectState state = rec->state.load(std::memory_order_acquire);
@@ -129,7 +214,7 @@ void on_fault(int signo, siginfo_t* info, void* uctx) {
       addr >= rec->shadow_base + rec->span_length - rec->guard_length;
   if (state != ObjectState::kFreed && !in_guard) {
     // A fault inside a live object's data pages is not ours to explain.
-    reraise_default(signo);
+    chain_previous(signo, info, uctx);
     return;
   }
   DanglingReport report;
@@ -147,21 +232,51 @@ void on_fault(int signo, siginfo_t* info, void* uctx) {
 
 }  // namespace
 
+namespace {
+
+void install_handlers() {
+  struct sigaction sa{};
+  sa.sa_sigaction = on_fault;
+  // SA_NODEFER keeps SIGSEGV deliverable inside the handler so a nested
+  // fault reaches the reentrancy bail-out instead of a silent kernel kill;
+  // SA_ONSTACK moves delivery to the per-thread sigaltstack.
+  sa.sa_flags = SA_SIGINFO | SA_NODEFER | SA_ONSTACK;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGSEGV, &sa, &g_prev_segv);
+  sigaction(SIGBUS, &sa, &g_prev_bus);
+  // Installing over ourselves (reinstall after a fork, double init) must not
+  // make the chain recursive.
+  if ((g_prev_segv.sa_flags & SA_SIGINFO) != 0 &&
+      g_prev_segv.sa_sigaction == on_fault) {
+    g_prev_segv = {};
+  }
+  if ((g_prev_bus.sa_flags & SA_SIGINFO) != 0 &&
+      g_prev_bus.sa_sigaction == on_fault) {
+    g_prev_bus = {};
+  }
+}
+
+}  // namespace
+
 FaultManager& FaultManager::instance() {
   static FaultManager fm;
   return fm;
 }
 
+void FaultManager::ensure_altstack() noexcept {
+  thread_local AltStack alt;
+  (void)alt;
+}
+
 void FaultManager::install() {
+  ensure_altstack();
   static std::once_flag once;
-  std::call_once(once, [] {
-    struct sigaction sa{};
-    sa.sa_sigaction = on_fault;
-    sa.sa_flags = SA_SIGINFO | SA_NODEFER;
-    sigemptyset(&sa.sa_mask);
-    sigaction(SIGSEGV, &sa, nullptr);
-    sigaction(SIGBUS, &sa, nullptr);
-  });
+  std::call_once(once, [] { install_handlers(); });
+}
+
+void FaultManager::reinstall_for_testing() {
+  ensure_altstack();
+  install_handlers();
 }
 
 void FaultManager::set_callback(Callback cb) noexcept {

@@ -13,8 +13,19 @@
 //   - a thread-local *probe* (see catch_dangling) recovers via siglongjmp;
 //     this powers in-process property tests that provoke thousands of traps.
 //
-// Faults that do not resolve to a freed shadow page are re-raised with the
-// default disposition, so genuine crashes keep crashing.
+// Faults that do not resolve to a freed shadow page are *chained* to whatever
+// SIGSEGV/SIGBUS handler was installed before ours (a crash reporter, a
+// language runtime's GC barrier), falling back to the default disposition —
+// genuine crashes keep crashing, and cohabiting handlers keep working.
+//
+// Hardening (production posture):
+//   - the handler runs on a per-thread sigaltstack (SA_ONSTACK), so a guard
+//     trap taken on an exhausted thread stack still produces a report instead
+//     of a silent double-fault kill;
+//   - a thread-local reentrancy flag detects a fault *inside* the handler
+//     (corrupt registry, faulting callback): the nested fault writes a
+//     minimal message and _exits rather than recursing until the kernel
+//     kills the process.
 #pragma once
 
 #include <csetjmp>
@@ -33,8 +44,20 @@ class FaultManager {
 
   static FaultManager& instance();
 
-  // Installs the SIGSEGV/SIGBUS handlers (idempotent, thread-safe).
+  // Installs the SIGSEGV/SIGBUS handlers (idempotent, thread-safe) and arms
+  // the calling thread's alternate signal stack. Previously-installed
+  // handlers are captured as chain targets for faults that are not ours.
   void install();
+
+  // Arms a per-thread alternate signal stack for the calling thread (RAII,
+  // torn down at thread exit). install() arms the installing thread; other
+  // threads that may take guard traps on deep stacks call this themselves.
+  static void ensure_altstack() noexcept;
+
+  // Test hook: re-runs handler installation regardless of the once-flag,
+  // re-capturing whatever SIGSEGV/SIGBUS handlers are currently installed as
+  // the new chain targets.
+  void reinstall_for_testing();
 
   // Callback invoked (from signal context!) before aborting. nullptr resets.
   void set_callback(Callback cb) noexcept;

@@ -6,9 +6,11 @@
 #include <cassert>
 #include <cstring>
 #include <limits>
+#include <stdexcept>
 
 #include "core/fault_manager.h"
 #include "obs/metrics.h"
+#include "vm/sys.h"
 #include "vm/vm_stats.h"
 
 namespace dpg::core {
@@ -19,7 +21,9 @@ ShadowEngine::ShadowEngine(vm::PhysArena& arena, alloc::MallocLike& under,
       under_(under),
       shadow_freelist_(shadow_freelist),
       mapper_(arena, cfg.strategy),
-      cfg_(cfg) {
+      cfg_(cfg),
+      gov_(cfg.governor != nullptr ? cfg.governor
+                                   : &DegradationGovernor::process()) {
   head_.prev = &head_;
   head_.next = &head_;
   obs::init_from_env();  // idempotent: arms DPG_TRACE / DPG_METRICS_* knobs
@@ -43,15 +47,17 @@ void* ShadowEngine::calloc(std::size_t count, std::size_t size, SiteId site) {
   std::lock_guard lock(mu_);
   void* p = do_alloc_locked(total, site);
   // Canonical blocks are recycled, so the memory may hold stale bytes.
-  std::memset(p, 0, total);
+  if (p != nullptr) std::memset(p, 0, total);
   return p;
 }
 
 void* ShadowEngine::malloc_unguarded(std::size_t size, SiteId site) {
   (void)site;  // diagnostics parity with malloc; nothing to record per object
   std::lock_guard lock(mu_);
-  void* p = under_.malloc(size);
-  stats_.guards_elided.fetch_add(1, std::memory_order_relaxed);
+  void* p = alloc_canonical_locked(size);
+  if (p != nullptr) {
+    stats_.guards_elided.fetch_add(1, std::memory_order_relaxed);
+  }
   return p;
 }
 
@@ -70,6 +76,17 @@ void* ShadowEngine::realloc(void* p, std::size_t new_size, SiteId site) {
     return nullptr;
   }
   const ObjectRecord* rec = ShadowRegistry::global().lookup(vm::addr(p));
+  if (rec == nullptr &&
+      stats_.degraded_allocs.load(std::memory_order_relaxed) != 0) {
+    // Pointer from a degraded allocation: move it through whatever path the
+    // current mode dictates. size_of reads the allocator's own header.
+    const std::size_t old_size = under_.size_of(p);
+    void* fresh = do_alloc_locked(new_size, site);
+    if (fresh == nullptr) return nullptr;  // old block stays valid (contract)
+    std::memcpy(fresh, p, old_size < new_size ? old_size : new_size);
+    degraded_free_locked(p, site);
+    return fresh;
+  }
   if (rec == nullptr || rec->user_shadow != vm::addr(p) ||
       rec->state.load(std::memory_order_acquire) == ObjectState::kFreed) {
     // Stale or foreign pointer: same disposition as an invalid/double free.
@@ -77,6 +94,7 @@ void* ShadowEngine::realloc(void* p, std::size_t new_size, SiteId site) {
   }
   const std::size_t old_size = rec->user_size;
   void* fresh = do_alloc_locked(new_size, site);
+  if (fresh == nullptr) return nullptr;  // old block stays valid (contract)
   std::memcpy(fresh, p, old_size < new_size ? old_size : new_size);
   // The old pointer is now a guarded dangling pointer (realloc's contract:
   // any use of `p` after this point is a temporal error and will trap).
@@ -85,11 +103,48 @@ void* ShadowEngine::realloc(void* p, std::size_t new_size, SiteId site) {
 }
 
 void* ShadowEngine::do_alloc_locked(std::size_t size, SiteId site) {
+  return gov_->on_alloc() == GuardMode::kFullGuard
+             ? guarded_alloc_locked(size, site)
+             : degraded_alloc_locked(size, site);
+}
+
+// Underlying allocation with exhaustion handling: on bad_alloc the governor
+// is told, the quarantine is returned to the allocator, and the request is
+// retried once. nullptr = genuinely out of physical memory.
+void* ShadowEngine::alloc_canonical_locked(std::size_t bytes) {
+  try {
+    return under_.malloc(bytes);
+  } catch (const std::bad_alloc&) {
+    gov_->on_arena_exhausted();
+  }
+  if (drain_quarantine_locked() == 0) return nullptr;
+  try {
+    return under_.malloc(bytes);
+  } catch (const std::bad_alloc&) {
+    return nullptr;
+  }
+}
+
+void* ShadowEngine::degraded_alloc_locked(std::size_t size, SiteId site) {
+  // No shadow alias, no registry record, no new VMA: the canonical pointer
+  // itself is handed out. Recognized at free time by registry miss (see
+  // free_locked), which is unambiguous only because every guarded user
+  // pointer lives on a shadow page.
+  void* p = alloc_canonical_locked(size);
+  if (p == nullptr) return nullptr;
+  stats_.degraded_allocs.fetch_add(1, std::memory_order_relaxed);
+  gov_->count_degraded_alloc();
+  obs::record_event(obs::EventKind::kAlloc, vm::addr(p), size, site);
+  return p;
+}
+
+void* ShadowEngine::guarded_alloc_locked(std::size_t size, SiteId site) {
   // "An allocation request is passed to malloc with the size incremented by
   //  sizeof(addr_t) bytes; the extra bytes at the start of the object will be
   //  used to record an address for bookkeeping purposes." (Section 3.2)
   const std::size_t total = size + kGuardHeader;
-  void* canonical = under_.malloc(total);
+  void* canonical = alloc_canonical_locked(total);
+  if (canonical == nullptr) return nullptr;
   const std::uintptr_t canon_addr = vm::addr(canonical);
   const std::uintptr_t first_page = vm::page_down(canon_addr);
   const std::size_t data_span = vm::page_up(canon_addr + total) - first_page;
@@ -103,32 +158,56 @@ void* ShadowEngine::do_alloc_locked(std::size_t size, SiteId site) {
     }
   }
 
-  void* shadow_base = nullptr;
+  // Guard-path kernel calls, all Result-returning: any refusal rolls the
+  // allocation back, drops the governor one rung, and re-serves the request
+  // through the degraded path — the caller never sees the failure.
+  long fresh_vmas = 0;
+  vm::sys::MapResult alias{};
   if (guard == 0) {
-    shadow_base = mapper_.alias(reinterpret_cast<void*>(first_page), data_span,
-                                fixed);
+    alias = mapper_.try_alias(reinterpret_cast<void*>(first_page), data_span,
+                              fixed);
+    if (alias.ok() && fixed == nullptr) fresh_vmas = 1;
   } else if (fixed == nullptr) {
     // Reserve data + guard in one anonymous PROT_NONE mapping, then place
     // the aliased data pages over its head; the tail page stays as the
     // unmapped-equivalent guard.
-    const std::uint64_t t0 = obs::enabled() ? obs::monotonic_ns() : 0;
-    void* region = mmap(nullptr, span_len, PROT_NONE,
-                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-    if (t0 != 0) {
-      obs::hist(obs::Hist::kMmapNs).record(obs::monotonic_ns() - t0);
+    const vm::sys::MapResult region = vm::sys::map(
+        nullptr, span_len, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (!region.ok()) {
+      alias = region;
+    } else {
+      alias = mapper_.try_alias(reinterpret_cast<void*>(first_page), data_span,
+                                region.ptr);
+      if (alias.ok()) {
+        fresh_vmas = 2;  // aliased head + PROT_NONE tail
+      } else {
+        (void)vm::sys::unmap(region.ptr, span_len);
+      }
     }
-    vm::syscall_counters().mmap.fetch_add(1, std::memory_order_relaxed);
-    if (region == MAP_FAILED) throw std::bad_alloc{};
-    shadow_base =
-        mapper_.alias(reinterpret_cast<void*>(first_page), data_span, region);
   } else {
     // Recycled range: alias the data part in place and convert the tail page
     // (whatever old mapping occupied it) into a fresh guard.
-    shadow_base =
-        mapper_.alias(reinterpret_cast<void*>(first_page), data_span, fixed);
-    vm::PhysArena::map_guard(static_cast<std::byte*>(shadow_base) + data_span,
-                             guard);
+    alias = mapper_.try_alias(reinterpret_cast<void*>(first_page), data_span,
+                              fixed);
+    if (alias.ok()) {
+      const vm::sys::IoResult g = vm::PhysArena::try_map_guard(
+          static_cast<std::byte*>(alias.ptr) + data_span, guard);
+      if (!g.ok()) alias = vm::sys::MapResult{nullptr, g.err};
+    }
   }
+  if (!alias.ok()) {
+    under_.free(canonical);
+    if (fixed != nullptr && shadow_freelist_ != nullptr) {
+      // MAP_FIXED failure leaves the old mapping intact: the range is still
+      // reusable, so it goes back on the list rather than leaking.
+      shadow_freelist_->put(vm::PageRange{vm::addr(fixed), span_len});
+    }
+    stats_.guard_failures.fetch_add(1, std::memory_order_relaxed);
+    gov_->on_syscall_failure("shadow-alias", alias.err);
+    return degraded_alloc_locked(size, site);
+  }
+  void* shadow_base = alias.ptr;
+  gov_->add_vmas(fresh_vmas);
 
   if (fixed != nullptr) {
     stats_.shadow_pages_reused.fetch_add(span_len / vm::kPageSize,
@@ -177,10 +256,74 @@ void ShadowEngine::free(void* p, SiteId site) {
   free_locked(lock, p, site);
 }
 
+void ShadowEngine::quarantine_locked(void* block, std::size_t bytes) {
+  quarantine_.push_back(QuarantineEntry{block, bytes});
+  quarantine_bytes_ += bytes;
+  const std::size_t budget = gov_->quarantine_budget();
+  while (quarantine_bytes_ > budget && !quarantine_.empty()) {
+    const QuarantineEntry e = quarantine_.front();
+    quarantine_.pop_front();
+    quarantine_bytes_ -= e.bytes;
+    try {
+      under_.free(e.block);
+    } catch (const std::logic_error&) {
+      // Quarantined garbage: an invalid free absorbed in degraded mode. The
+      // allocator's magic check caught it; attribution is lost, the count
+      // is not.
+      stats_.invalid_frees.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t ShadowEngine::drain_quarantine_locked() {
+  std::size_t released = 0;
+  while (!quarantine_.empty()) {
+    const QuarantineEntry e = quarantine_.front();
+    quarantine_.pop_front();
+    released += e.bytes;
+    try {
+      under_.free(e.block);
+    } catch (const std::logic_error&) {
+      stats_.invalid_frees.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  quarantine_bytes_ = 0;
+  return released;
+}
+
+void ShadowEngine::degraded_free_locked(void* p, SiteId site) {
+  obs::record_event(obs::EventKind::kFree, vm::addr(p), 0, site);
+  if (gov_->mode() == GuardMode::kUnguarded) {
+    try {
+      under_.free(p);
+    } catch (const std::logic_error&) {
+      stats_.invalid_frees.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Delayed reuse: the block sits in FIFO quarantine so a stale pointer to it
+  // dereferences stale-but-unreused memory, not a new owner's data. The size
+  // comes from the allocator header; a garbage pointer yields a garbage size,
+  // so clamp to keep one bad entry from flushing the whole quarantine.
+  std::size_t bytes = under_.size_of(p);
+  if (bytes == 0 || bytes > (std::size_t{1} << 32)) bytes = vm::kPageSize;
+  stats_.quarantined_frees.fetch_add(1, std::memory_order_relaxed);
+  quarantine_locked(p, bytes);
+}
+
 void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
                                SiteId site) {
   const std::uintptr_t user = vm::addr(p);
   const ObjectRecord* found = ShadowRegistry::global().lookup(user);
+  if (found == nullptr &&
+      stats_.degraded_allocs.load(std::memory_order_relaxed) != 0) {
+    // Once this engine has served any degraded allocation, a registry miss is
+    // (almost surely) such a pointer coming back. Before the first degraded
+    // allocation a miss is still reported as an invalid free exactly as in
+    // full-guard mode — degradation never weakens a run it never touched.
+    degraded_free_locked(p, site);
+    return;
+  }
   // Objects never share a shadow page, so a page hit identifies the object;
   // still require the exact pointer, as free() of an interior pointer is an
   // error in its own right.
@@ -230,11 +373,22 @@ void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
     return;
   }
 
-  vm::PhysArena::protect_none(reinterpret_cast<void*>(rec->shadow_base),
-                              rec->span_length);
+  const vm::sys::IoResult pr = vm::PhysArena::try_protect_none(
+      reinterpret_cast<void*>(rec->shadow_base), rec->span_length);
   stats_.protect_calls.fetch_add(1, std::memory_order_relaxed);
-  under_.free(reinterpret_cast<void*>(rec->canonical));
   freed_bytes_held_ += rec->span_length;
+  if (pr.ok()) {
+    under_.free(reinterpret_cast<void*>(rec->canonical));
+  } else {
+    // Revocation refused: the shadow stays readable, so the physical block
+    // must NOT be recycled (a new owner's data would leak through the stale
+    // alias). Park it in quarantine instead; the record stays registered, so
+    // a double free of this pointer is still caught exactly.
+    stats_.guard_failures.fetch_add(1, std::memory_order_relaxed);
+    gov_->on_syscall_failure("protect-none", pr.err);
+    quarantine_locked(reinterpret_cast<void*>(rec->canonical),
+                      rec->user_size + kGuardHeader);
+  }
   enforce_budget_locked();
 }
 
@@ -250,32 +404,50 @@ void ShadowEngine::flush_protections_locked() {
             [](const ObjectRecord* a, const ObjectRecord* b) {
               return a->shadow_base < b->shadow_base;
             });
-  std::uintptr_t run_base = 0;
-  std::size_t run_len = 0;
-  const auto emit = [&] {
-    if (run_len != 0) {
-      vm::PhysArena::protect_none(reinterpret_cast<void*>(run_base), run_len);
-      stats_.protect_calls.fetch_add(1, std::memory_order_relaxed);
-    }
-  };
-  for (const ObjectRecord* rec : pending_protect_) {
-    if (rec->shadow_base == run_base + run_len) {
-      run_len += rec->span_length;  // extends the current run
+  const std::size_t n = pending_protect_.size();
+  std::size_t i = 0;
+  while (i < n) {
+    std::uintptr_t run_base = pending_protect_[i]->shadow_base;
+    std::size_t run_len = pending_protect_[i]->span_length;
+    std::size_t j = i + 1;
+    while (j < n && pending_protect_[j]->shadow_base == run_base + run_len) {
+      run_len += pending_protect_[j]->span_length;  // extends the current run
       stats_.protect_calls_saved.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      emit();
-      run_base = rec->shadow_base;
-      run_len = rec->span_length;
+      ++j;
     }
+    const vm::sys::IoResult r = vm::PhysArena::try_protect_none(
+        reinterpret_cast<void*>(run_base), run_len);
+    stats_.protect_calls.fetch_add(1, std::memory_order_relaxed);
+    if (r.ok()) {
+      for (std::size_t k = i; k < j; ++k) {
+        ObjectRecord* rec = pending_protect_[k];
+        under_.free(reinterpret_cast<void*>(rec->canonical));
+        freed_bytes_held_ += rec->span_length;
+      }
+    } else {
+      // The merged call was refused; fall back to per-record protection so
+      // one bad span cannot leave a whole run revocable-but-unprotected.
+      gov_->on_syscall_failure("protect-batch", r.err);
+      for (std::size_t k = i; k < j; ++k) {
+        ObjectRecord* rec = pending_protect_[k];
+        const vm::sys::IoResult r2 = vm::PhysArena::try_protect_none(
+            reinterpret_cast<void*>(rec->shadow_base), rec->span_length);
+        stats_.protect_calls.fetch_add(1, std::memory_order_relaxed);
+        freed_bytes_held_ += rec->span_length;
+        if (r2.ok()) {
+          under_.free(reinterpret_cast<void*>(rec->canonical));
+        } else {
+          stats_.guard_failures.fetch_add(1, std::memory_order_relaxed);
+          quarantine_locked(reinterpret_cast<void*>(rec->canonical),
+                            rec->user_size + kGuardHeader);
+        }
+      }
+    }
+    i = j;
   }
-  emit();
   obs::record_event(obs::EventKind::kProtectBatch,
                     pending_protect_.front()->shadow_base,
                     pending_protect_.size());
-  for (ObjectRecord* rec : pending_protect_) {
-    under_.free(reinterpret_cast<void*>(rec->canonical));
-    freed_bytes_held_ += rec->span_length;
-  }
   pending_protect_.clear();
 }
 
@@ -313,6 +485,7 @@ void ShadowEngine::release_record_locked(ObjectRecord* rec, bool recycle_va) {
     shadow_freelist_->put(span);  // records the kVaReclaim event
   } else {
     arena_.unmap(reinterpret_cast<void*>(span.base), span.length);
+    gov_->add_vmas(rec->guard_length != 0 ? -2 : -1);
     obs::record_event(obs::EventKind::kVaReclaim, span.base, span.pages());
   }
   if (rec->state.load(std::memory_order_relaxed) == ObjectState::kFreed) {
@@ -329,6 +502,7 @@ void ShadowEngine::release_record_locked(ObjectRecord* rec, bool recycle_va) {
 void ShadowEngine::release_all() {
   std::lock_guard lock(mu_);
   flush_protections_locked();  // pending canonical blocks must reach under_
+  drain_quarantine_locked();
   while (head_.next != &head_) {
     release_record_locked(head_.next, /*recycle_va=*/true);
   }
@@ -386,6 +560,25 @@ GuardStats ShadowEngine::stats() const {
 }
 
 GuardedHeap::GuardedHeap(vm::PhysArena& arena, GuardConfig cfg)
-    : source_(arena), heap_(source_), engine_(arena, heap_, &shadow_va_, cfg) {}
+    : source_(arena), heap_(source_), engine_(arena, heap_, &shadow_va_, cfg) {
+  // The shadow VA free list doubles as the arena's emergency VMA-relief
+  // source: under kernel ENOMEM its held spans are coalesced and munmapped.
+  arena.add_relief_source(&shadow_va_);
+  // Ranges the list munmaps (relief or teardown) were live guard VMAs; keep
+  // the governor's pressure estimate from ratcheting up across heap
+  // lifetimes.
+  shadow_va_.set_release_hook(
+      +[](void* gov, std::size_t ranges) {
+        static_cast<DegradationGovernor*>(gov)->add_vmas(
+            -static_cast<long>(ranges));
+      },
+      &engine_.governor());
+}
+
+GuardedHeap::~GuardedHeap() {
+  // Deregister before shadow_va_ is destroyed (members die in reverse order;
+  // the dtor body runs first).
+  source_.arena().remove_relief_source(&shadow_va_);
+}
 
 }  // namespace dpg::core

@@ -20,12 +20,14 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "alloc/alloc_iface.h"
 #include "alloc/heap.h"
+#include "core/degrade.h"
 #include "core/registry.h"
 #include "core/stats.h"
 #include "vm/shadow_map.h"
@@ -58,6 +60,9 @@ struct GuardConfig {
   // stale-but-unreused data undetected. 0 = protect immediately (the
   // paper's configuration).
   std::size_t protect_batch = 0;
+  // Degradation policy (core/degrade.h). nullptr = share the process-wide
+  // governor; tests and benches pass their own to pin or observe the ladder.
+  DegradationGovernor* governor = nullptr;
 };
 
 class ShadowEngine {
@@ -121,9 +126,18 @@ class ShadowEngine {
 
   static constexpr std::size_t kGuardHeader = sizeof(std::uintptr_t);
 
+  // The engine's governor (never null after construction).
+  [[nodiscard]] DegradationGovernor& governor() noexcept { return *gov_; }
+
  private:
   void* do_alloc_locked(std::size_t size, SiteId site);
+  void* guarded_alloc_locked(std::size_t size, SiteId site);
+  void* degraded_alloc_locked(std::size_t size, SiteId site);
+  void* alloc_canonical_locked(std::size_t bytes);
   void free_locked(std::unique_lock<std::mutex>& lock, void* p, SiteId site);
+  void degraded_free_locked(void* p, SiteId site);
+  void quarantine_locked(void* block, std::size_t bytes);
+  std::size_t drain_quarantine_locked();
   void release_record_locked(ObjectRecord* rec, bool recycle_va);
   void unlink_locked(ObjectRecord* rec) noexcept;
   void flush_protections_locked();
@@ -134,6 +148,18 @@ class ShadowEngine {
   vm::VaFreeList* shadow_freelist_;
   vm::ShadowMapper mapper_;
   GuardConfig cfg_;
+  DegradationGovernor* gov_;
+
+  // Delayed-reuse quarantine for degraded frees (and for canonical blocks
+  // whose revocation mprotect was refused): the physical memory is parked,
+  // not recycled, so a stale pointer reads stale-but-unreused data instead of
+  // a new owner's — detection is suspended, never falsified (DESIGN.md §10).
+  struct QuarantineEntry {
+    void* block;
+    std::size_t bytes;
+  };
+  std::deque<QuarantineEntry> quarantine_;
+  std::size_t quarantine_bytes_ = 0;
 
   mutable std::mutex mu_;
   ObjectRecord head_;  // intrusive list sentinel, oldest first
@@ -148,6 +174,7 @@ class ShadowEngine {
 class GuardedHeap {
  public:
   explicit GuardedHeap(vm::PhysArena& arena, GuardConfig cfg = {});
+  ~GuardedHeap();
 
   [[nodiscard]] void* malloc(std::size_t size, SiteId site = 0) {
     return engine_.malloc(size, site);

@@ -27,8 +27,15 @@ void Runtime::export_counters() noexcept {
   obs::register_counter("dpg_protect_calls", &c.protect_calls);
   obs::register_counter("dpg_protect_calls_saved", &c.protect_calls_saved);
   obs::register_counter("dpg_guards_elided", &c.guards_elided);
+  obs::register_counter("dpg_heap_degraded_allocs", &c.degraded_allocs);
+  obs::register_counter("dpg_quarantined_frees", &c.quarantined_frees);
+  obs::register_counter("dpg_guard_failures", &c.guard_failures);
   obs::register_counter("dpg_live_records", &c.live_records);
   obs::register_counter("dpg_guarded_bytes", &c.guarded_bytes);
+  // The process governor registers the dpg_degrade_* family on first use;
+  // touching it here guarantees those counters exist in every export even if
+  // no degradation ever occurs.
+  (void)DegradationGovernor::process();
 }
 
 void* dpg_malloc(std::size_t size) { return Runtime::instance().heap().malloc(size); }

@@ -45,6 +45,15 @@ struct GuardStats {
                                            // (static analysis proved the
                                            // site SAFE; no shadow alias, no
                                            // PROT_NONE at free)
+  std::uint64_t degraded_allocs = 0;      // served without a guard because
+                                           // the DegradationGovernor demoted
+                                           // the engine (core/degrade.h)
+  std::uint64_t quarantined_frees = 0;    // degraded frees parked in the
+                                           // delayed-reuse quarantine
+  std::uint64_t guard_failures = 0;       // kernel refused a guard syscall
+                                           // (alias mmap / revocation
+                                           // mprotect); detection suspended
+                                           // for the affected object
   std::size_t live_records = 0;            // live + freed-but-still-guarded
   std::size_t guarded_bytes = 0;           // shadow span bytes currently held
 };
@@ -61,6 +70,9 @@ struct GuardCounters {
   std::atomic<std::uint64_t> protect_calls{0};
   std::atomic<std::uint64_t> protect_calls_saved{0};
   std::atomic<std::uint64_t> guards_elided{0};
+  std::atomic<std::uint64_t> degraded_allocs{0};
+  std::atomic<std::uint64_t> quarantined_frees{0};
+  std::atomic<std::uint64_t> guard_failures{0};
   std::atomic<std::uint64_t> live_records{0};
   std::atomic<std::uint64_t> guarded_bytes{0};
 
@@ -77,6 +89,9 @@ struct GuardCounters {
     s.protect_calls_saved =
         protect_calls_saved.load(std::memory_order_relaxed);
     s.guards_elided = guards_elided.load(std::memory_order_relaxed);
+    s.degraded_allocs = degraded_allocs.load(std::memory_order_relaxed);
+    s.quarantined_frees = quarantined_frees.load(std::memory_order_relaxed);
+    s.guard_failures = guard_failures.load(std::memory_order_relaxed);
     s.live_records = static_cast<std::size_t>(
         live_records.load(std::memory_order_relaxed));
     s.guarded_bytes = static_cast<std::size_t>(

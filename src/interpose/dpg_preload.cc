@@ -22,10 +22,16 @@
 //     cannot be guaranteed on shadow pages (the in-page offset is pinned to
 //     the canonical offset), so those requests fall through to glibc,
 //     unguarded but correct.
+//   - Exception safety: these entry points are a C boundary inside arbitrary
+//     host binaries. No guard-layer exception may unwind through them (that
+//     is std::terminate): every path catches, records dpg_guard_errors via
+//     the DegradationGovernor, and keeps the host serving — allocation falls
+//     back to glibc, a failed free leaks the block.
 #include <cstddef>
 #include <cstring>
 #include <new>
 
+#include "core/degrade.h"
 #include "core/registry.h"
 #include "core/runtime.h"
 #include "obs/metrics.h"
@@ -47,21 +53,26 @@ struct DepthGuard {
   ~DepthGuard() { t_depth--; }
 };
 
-dpg::core::GuardedHeap& heap() {
+dpg::core::Runtime& runtime() {
   // Arm the observability knobs (DPG_TRACE / DPG_METRICS_*) before the first
   // guarded allocation so even the earliest events are recorded. Idempotent;
   // internal allocations route to __libc_malloc under the depth guard.
   dpg::obs::init_from_env();
   // Runtime construction allocates; the caller holds the depth guard.
   return dpg::core::Runtime::instance(
-             {.guard = {.freed_va_budget = std::size_t{256} << 20}})
-      .heap();
+      {.guard = {.freed_va_budget = std::size_t{256} << 20}});
 }
 
-bool is_guarded(const void* p) {
+dpg::core::GuardedHeap& heap() { return runtime().heap(); }
+
+// True when `p` belongs to the guard runtime: either a guarded (shadow-page)
+// pointer, or a degraded allocation served straight from the canonical
+// window. Neither may ever reach __libc_free.
+bool is_ours(const void* p) {
   const auto* rec =
       dpg::core::ShadowRegistry::global().lookup(dpg::vm::addr(p));
-  return rec != nullptr && rec->user_shadow == dpg::vm::addr(p);
+  if (rec != nullptr) return true;
+  return runtime().arena().contains_canonical(p);
 }
 
 }  // namespace
@@ -74,7 +85,10 @@ void* malloc(std::size_t size) {
   try {
     return heap().malloc(size);
   } catch (...) {
-    return nullptr;
+    // The guard layer failed, not the allocation: serve the request from
+    // glibc (unguarded) rather than lying about memory exhaustion.
+    dpg::core::note_guard_error();
+    return __libc_malloc(size);
   }
 }
 
@@ -85,11 +99,19 @@ void free(void* p) {
     return;
   }
   DepthGuard guard;
-  if (!is_guarded(p)) {
-    __libc_free(p);  // pre-interposition or internal allocation
+  try {
+    if (is_ours(p)) {
+      heap().free(p);
+      return;
+    }
+  } catch (...) {
+    // Never unwind into the host and never hand a guard-owned block to
+    // glibc: record the error and leak the block — a bounded leak beats
+    // std::terminate in a production server.
+    dpg::core::note_guard_error();
     return;
   }
-  heap().free(p);
+  __libc_free(p);  // pre-interposition or internal allocation
 }
 
 void* calloc(std::size_t count, std::size_t size) {
@@ -98,17 +120,21 @@ void* calloc(std::size_t count, std::size_t size) {
   try {
     return heap().calloc(count, size);
   } catch (...) {
-    return nullptr;
+    dpg::core::note_guard_error();
+    return __libc_calloc(count, size);
   }
 }
 
 void* realloc(void* p, std::size_t size) {
   if (t_depth != 0) return __libc_realloc(p, size);
   DepthGuard guard;
-  if (p != nullptr && !is_guarded(p)) return __libc_realloc(p, size);
   try {
+    if (p != nullptr && !is_ours(p)) return __libc_realloc(p, size);
     return heap().realloc(p, size);
   } catch (...) {
+    // `p` may be guard-owned, so no glibc fallback is safe here; the C
+    // contract on failure is "old block untouched, return nullptr".
+    dpg::core::note_guard_error();
     return nullptr;
   }
 }

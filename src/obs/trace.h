@@ -33,6 +33,7 @@ enum class EventKind : std::uint16_t {
   kFault,         // addr = fault addr,   arg = AccessKind
   kPoolInit,      // addr = pool scope
   kPoolDestroy,   // addr = pool scope
+  kDegrade,       // addr = new GuardMode, arg = old GuardMode
 };
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
@@ -46,6 +47,7 @@ enum class EventKind : std::uint16_t {
     case EventKind::kFault: return "fault";
     case EventKind::kPoolInit: return "pool-init";
     case EventKind::kPoolDestroy: return "pool-destroy";
+    case EventKind::kDegrade: return "degrade";
   }
   return "?";
 }

@@ -20,15 +20,24 @@
 // we can use mmap with an in-memory file system". memfd_create is the modern
 // in-memory file system, so this is the primary strategy; shadow_map.h also
 // provides the mremap flavour for comparison benchmarks.
+//
+// All kernel calls go through vm/sys.h (EINTR retry, fault injection, Result
+// returns). The try_* entry points surface failures as errno Results for the
+// guard layer's degradation machinery; the historical throwing wrappers
+// remain for callers that treat failure as fatal (tests, benches).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "vm/page.h"
+#include "vm/sys.h"
 
 namespace dpg::vm {
+
+class VaFreeList;
 
 class PhysArena {
  public:
@@ -41,8 +50,9 @@ class PhysArena {
   PhysArena& operator=(const PhysArena&) = delete;
 
   // Grows the canonical heap by `bytes` (rounded up to whole pages) and
-  // returns the canonical address of the new extent. Throws std::bad_alloc
-  // when the VA window or the system is exhausted.
+  // returns the canonical address of the new extent. On kernel refusal
+  // (ftruncate ENOMEM) it releases every registered relief free list
+  // (coalesce + munmap) and retries once before throwing std::bad_alloc.
   [[nodiscard]] void* extend(std::size_t bytes);
 
   // Physical memory consumed by the heap: the memfd length. This is the
@@ -63,6 +73,14 @@ class PhysArena {
   // atomically replacing whatever mapping previously occupied the range —
   // this is how virtual pages recycled through the VA free-list are reused
   // without an munmap per object (Section 3.3).
+  //
+  // On mmap ENOMEM (typically vm.max_map_count exhaustion) the relief lists
+  // are released and the mapping is retried once; a persistent refusal comes
+  // back as an errno Result for the governor to act on.
+  [[nodiscard]] sys::MapResult try_map_shadow(const void* canonical_page,
+                                              std::size_t len,
+                                              void* fixed = nullptr) noexcept;
+  // Throwing wrapper (std::bad_alloc on failure) for fatal-failure callers.
   [[nodiscard]] void* map_shadow(const void* canonical_page, std::size_t len,
                                  void* fixed = nullptr);
 
@@ -70,13 +88,27 @@ class PhysArena {
   void unmap(void* p, std::size_t len) noexcept;
 
   // Page-protection primitives used on shadow pages at free / reuse.
-  static void protect_none(void* p, std::size_t len);
-  static void protect_rw(void* p, std::size_t len);
+  static sys::IoResult try_protect_none(void* p, std::size_t len) noexcept;
+  static sys::IoResult try_protect_rw(void* p, std::size_t len) noexcept;
+  static void protect_none(void* p, std::size_t len);  // throws system_error
+  static void protect_rw(void* p, std::size_t len);    // throws system_error
 
   // Places an anonymous PROT_NONE page exactly at `fixed` (used for trailing
   // guard pages: it must NOT alias the arena, so a stray access can never
   // reach a neighbour's physical memory).
-  static void map_guard(void* fixed, std::size_t len);
+  static sys::IoResult try_map_guard(void* fixed, std::size_t len) noexcept;
+  static void map_guard(void* fixed, std::size_t len);  // throws bad_alloc
+
+  // --- VA pressure relief -----------------------------------------------
+  // Shadow-VA free lists registered here are drained (coalesce + munmap)
+  // when the kernel refuses an arena syscall with ENOMEM, releasing VMA
+  // slots and address space before the single retry. Owners MUST deregister
+  // before the free list dies. Only shadow lists are legal: canonical
+  // extents live inside the arena window and must never be munmapped.
+  void add_relief_source(VaFreeList* fl);
+  void remove_relief_source(VaFreeList* fl) noexcept;
+  // Drains every registered source now; returns bytes released.
+  std::size_t release_relief() noexcept;
 
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
@@ -88,6 +120,8 @@ class PhysArena {
   std::size_t window_ = 0;            // reserved canonical VA
   std::size_t length_ = 0;            // current file length (== mapped heap)
   mutable std::mutex mu_;
+  std::mutex relief_mu_;
+  std::vector<VaFreeList*> relief_;   // registered shadow free lists
 };
 
 }  // namespace dpg::vm

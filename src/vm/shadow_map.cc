@@ -15,7 +15,9 @@ namespace dpg::vm {
 namespace {
 
 // One-shot probe: create a tiny shared mapping and try to duplicate it with
-// mremap(old_size = 0). Some hardened kernels reject this.
+// mremap(old_size = 0). Some hardened kernels reject this. Deliberately uses
+// raw syscalls, not the vm/sys shim: a fault-injection plan must not flip
+// the alias strategy mid-test.
 bool probe_mremap_alias() {
   int fd = static_cast<int>(memfd_create("dpguard-probe", MFD_CLOEXEC));
   if (fd < 0) return false;
@@ -56,22 +58,33 @@ ShadowMapper::ShadowMapper(PhysArena& arena, AliasStrategy strategy)
   }
 }
 
-void* ShadowMapper::alias(const void* canonical_page, std::size_t len,
-                          void* fixed) {
+sys::MapResult ShadowMapper::try_alias(const void* canonical_page,
+                                       std::size_t len, void* fixed) noexcept {
   if (strategy_ == AliasStrategy::kMemfd || fixed != nullptr) {
     // The MAP_FIXED reuse path always goes through the memfd: mremap cannot
     // place the duplicate at a chosen address without MREMAP_FIXED juggling.
-    void* shadow = arena_.map_shadow(canonical_page, len, fixed);
-    obs::record_event(obs::EventKind::kShadowMap, addr(shadow), page_up(len));
+    const sys::MapResult shadow =
+        arena_.try_map_shadow(canonical_page, len, fixed);
+    if (shadow.ok()) {
+      obs::record_event(obs::EventKind::kShadowMap, addr(shadow.ptr),
+                        page_up(len));
+    }
     return shadow;
   }
-  obs::ScopedLatency lat(obs::Hist::kMremapNs);
-  void* shadow = mremap(const_cast<void*>(canonical_page), 0, page_up(len),
-                        MREMAP_MAYMOVE);
-  syscall_counters().mremap.fetch_add(1, std::memory_order_relaxed);
-  if (shadow == MAP_FAILED) throw std::bad_alloc{};
-  obs::record_event(obs::EventKind::kShadowMap, addr(shadow), page_up(len));
+  const sys::MapResult shadow =
+      sys::remap_dup(const_cast<void*>(canonical_page), page_up(len));
+  if (shadow.ok()) {
+    obs::record_event(obs::EventKind::kShadowMap, addr(shadow.ptr),
+                      page_up(len));
+  }
   return shadow;
+}
+
+void* ShadowMapper::alias(const void* canonical_page, std::size_t len,
+                          void* fixed) {
+  const sys::MapResult r = try_alias(canonical_page, len, fixed);
+  if (!r.ok()) throw std::bad_alloc{};
+  return r.ptr;
 }
 
 }  // namespace dpg::vm

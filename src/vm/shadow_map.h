@@ -32,7 +32,12 @@ class ShadowMapper {
                         AliasStrategy strategy = AliasStrategy::kMemfd);
 
   // Aliases the canonical pages spanning [canonical_page, +len) at a fresh
-  // virtual address, or exactly at `fixed` (MAP_FIXED reuse path).
+  // virtual address, or exactly at `fixed` (MAP_FIXED reuse path). The try_
+  // form reports kernel refusal as an errno Result (the guard layer feeds it
+  // to the DegradationGovernor); the plain form throws std::bad_alloc.
+  [[nodiscard]] sys::MapResult try_alias(const void* canonical_page,
+                                         std::size_t len,
+                                         void* fixed = nullptr) noexcept;
   [[nodiscard]] void* alias(const void* canonical_page, std::size_t len,
                             void* fixed = nullptr);
 

@@ -1,20 +1,15 @@
 #include "vm/va_freelist.h"
 
-#include <sys/mman.h>
-
+#include <algorithm>
 #include <cassert>
 
 #include "obs/metrics.h"
+#include "vm/sys.h"
 #include "vm/vm_stats.h"
 
 namespace dpg::vm {
 
-VaFreeList::~VaFreeList() {
-  drain([](PageRange r) {
-    ::munmap(reinterpret_cast<void*>(r.base), r.length);
-    syscall_counters().munmap.fetch_add(1, std::memory_order_relaxed);
-  });
-}
+VaFreeList::~VaFreeList() { release_all(); }
 
 void VaFreeList::put(PageRange range) {
   assert(page_offset(range.base) == 0);
@@ -53,6 +48,54 @@ std::optional<PageRange> VaFreeList::take(std::size_t len) {
   }
   bytes_ -= want;
   return PageRange{base, want};
+}
+
+void VaFreeList::set_release_hook(ReleaseHook hook, void* ctx) noexcept {
+  std::lock_guard lock(mu_);
+  hook_ = hook;
+  hook_ctx_ = ctx;
+}
+
+std::size_t VaFreeList::release_all() noexcept {
+  std::vector<PageRange> all;
+  ReleaseHook hook = nullptr;
+  void* hook_ctx = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [pages, addrs] : buckets_) {
+      for (std::uintptr_t a : addrs) {
+        all.push_back(PageRange{a, pages * kPageSize});
+      }
+    }
+    buckets_.clear();
+    bytes_ = 0;
+    hook = hook_;
+    hook_ctx = hook_ctx_;
+  }
+  if (all.empty()) return 0;
+  // Coalesce: pool pages often re-enter the list in allocation order, so
+  // sorting and merging adjacent ranges turns thousands of per-object spans
+  // into a handful of munmap calls — this path runs when the kernel is
+  // already refusing us VMAs, so economy matters.
+  std::sort(all.begin(), all.end(),
+            [](const PageRange& a, const PageRange& b) {
+              return a.base < b.base;
+            });
+  std::size_t released = 0;
+  PageRange run = all.front();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    if (all[i].base == run.end()) {
+      run.length += all[i].length;
+      continue;
+    }
+    sys::unmap(reinterpret_cast<void*>(run.base), run.length);
+    released += run.length;
+    run = all[i];
+  }
+  sys::unmap(reinterpret_cast<void*>(run.base), run.length);
+  released += run.length;
+  if (hook != nullptr) hook(hook_ctx, all.size());
+  return released;
 }
 
 std::size_t VaFreeList::bytes() const {

@@ -50,6 +50,21 @@ class VaFreeList {
   // Number of ranges held (diagnostics).
   [[nodiscard]] std::size_t ranges() const;
 
+  // Emergency/teardown release: drains every held range, coalesces adjacent
+  // ranges, and munmaps the merged spans through the syscall shim — one
+  // munmap per contiguous run instead of one per range. Returns the bytes
+  // handed back. This is the VMA-pressure relief valve PhysArena pulls when
+  // the kernel refuses mmap/ftruncate with ENOMEM.
+  std::size_t release_all() noexcept;
+
+  // Invoked after release_all() hands spans back to the kernel, with the
+  // number of ranges that left the list (each held range was one live VMA).
+  // Owners use it to keep an external VMA estimate honest — without it the
+  // DegradationGovernor's pressure gauge only ever climbs, and long-lived
+  // processes cycling heaps degrade on phantom pressure.
+  using ReleaseHook = void (*)(void* ctx, std::size_t ranges);
+  void set_release_hook(ReleaseHook hook, void* ctx) noexcept;
+
   // Drains every held range, invoking `release(range)` on each (used at
   // teardown to hand the addresses back to the kernel).
   template <typename Fn>
@@ -72,6 +87,8 @@ class VaFreeList {
   mutable std::mutex mu_;
   std::map<std::size_t, std::vector<std::uintptr_t>> buckets_;  // pages -> bases
   std::size_t bytes_ = 0;
+  ReleaseHook hook_ = nullptr;
+  void* hook_ctx_ = nullptr;
 };
 
 }  // namespace dpg::vm

@@ -2,6 +2,8 @@
 // dpguard: plain malloc/free C++ with selectable bugs.
 //
 //   preload_victim clean    exercise malloc/calloc/realloc/free correctly
+//   preload_victim churn    sustained varied-size malloc/free (a server-ish
+//                           workload; used for degraded-mode smoke runs)
 //   preload_victim uaf      read through a dangling pointer
 //   preload_victim uaf-w    write through a dangling pointer
 //   preload_victim df       double free
@@ -50,6 +52,34 @@ int run_clean() {
   return 0;
 }
 
+// A few thousand correct allocations across the size classes with staggered
+// frees — the shape of a request-serving process. Used with DPG_FAULT_INJECT
+// to prove the host keeps running when the kernel refuses guard syscalls.
+int run_churn() {
+  std::vector<char*> live;
+  long checksum = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t size = static_cast<std::size_t>(16 + (i * 37) % 3000);
+    auto* p = static_cast<char*>(std::malloc(size));
+    if (p == nullptr) return 4;
+    p[0] = static_cast<char>('a' + i % 26);
+    p[size - 1] = p[0];
+    live.push_back(p);
+    if (live.size() > 64) {
+      char* victim = live.front();
+      live.erase(live.begin());
+      checksum += victim[0];
+      std::free(victim);
+    }
+  }
+  for (char* p : live) {
+    checksum += p[0];
+    std::free(p);
+  }
+  std::printf("churn ok %ld\n", checksum);
+  return 0;
+}
+
 int run_uaf(bool write) {
   auto* p = static_cast<char*>(std::malloc(64));
   std::strcpy(p, "session-token");
@@ -93,6 +123,7 @@ int run_stale_realloc() {
 int main(int argc, char** argv) {
   const std::string mode = argc > 1 ? argv[1] : "clean";
   if (mode == "clean") return run_clean();
+  if (mode == "churn") return run_churn();
   if (mode == "uaf") return run_uaf(false);
   if (mode == "uaf-w") return run_uaf(true);
   if (mode == "df") return run_df();

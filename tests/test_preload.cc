@@ -6,7 +6,9 @@
 
 #include <csignal>
 #include <sys/wait.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -33,8 +35,10 @@ struct RunResult {
   }
 };
 
-RunResult run_victim(const std::string& mode, bool preload) {
+RunResult run_victim(const std::string& mode, bool preload,
+                     const std::string& env = {}) {
   std::string cmd;
+  if (!env.empty()) cmd += env + " ";
   if (preload) cmd += "LD_PRELOAD=" DPG_PRELOAD_SO " ";
   cmd += DPG_VICTIM_BIN " " + mode + " 2>&1";
   FILE* pipe = popen(cmd.c_str(), "r");
@@ -96,6 +100,66 @@ TEST(Preload, StaleReallocAliasAborts) {
   const RunResult r = run_victim("stale-realloc", true);
   EXPECT_TRUE(r.aborted()) << r.exit_code << " " << r.output;
   EXPECT_NE(r.output.find("dangling pointer"), std::string::npos) << r.output;
+}
+
+// Reads "name":value out of the JSON-lines metrics dump (largest value wins:
+// the file may hold several snapshots and counters are monotonic).
+long metric_value(const std::string& json, const std::string& name) {
+  long best = -1;
+  const std::string key = "\"" + name + "\":";
+  std::string::size_type at = 0;
+  while ((at = json.find(key, at)) != std::string::npos) {
+    at += key.size();
+    best = std::max(best, std::atol(json.c_str() + at));
+  }
+  return best;
+}
+
+// The robustness acceptance run: persistent mmap ENOMEM injected mid-workload
+// must leave the victim alive (exit 0) with the governor reporting a
+// degraded-mode transition — never crash the host server.
+TEST(Preload, SurvivesInjectedMmapExhaustionDegraded) {
+  char path_tmpl[] = "/tmp/dpg_metrics_XXXXXX";
+  const int fd = mkstemp(path_tmpl);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  const std::string env =
+      std::string("DPG_FAULT_INJECT=mmap:errno=ENOMEM:after=40 ") +
+      "DPG_METRICS_PATH=" + path_tmpl;
+  const RunResult r = run_victim("churn", true, env);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("churn ok"), std::string::npos) << r.output;
+
+  std::string json;
+  if (FILE* f = fopen(path_tmpl, "r")) {
+    std::array<char, 512> buf;
+    while (fgets(buf.data(), buf.size(), f) != nullptr) json += buf.data();
+    fclose(f);
+  }
+  unlink(path_tmpl);
+  EXPECT_GE(metric_value(json, "dpg_degrade_transitions"), 1) << json;
+  EXPECT_GE(metric_value(json, "dpg_degraded_allocs"), 1) << json;
+}
+
+// With no injection the same workload must finish with the ladder untouched.
+TEST(Preload, NoDegradationWithoutInjection) {
+  char path_tmpl[] = "/tmp/dpg_metrics_XXXXXX";
+  const int fd = mkstemp(path_tmpl);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  const RunResult r = run_victim("churn", true,
+                                 std::string("DPG_METRICS_PATH=") + path_tmpl);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  std::string json;
+  if (FILE* f = fopen(path_tmpl, "r")) {
+    std::array<char, 512> buf;
+    while (fgets(buf.data(), buf.size(), f) != nullptr) json += buf.data();
+    fclose(f);
+  }
+  unlink(path_tmpl);
+  EXPECT_EQ(metric_value(json, "dpg_degrade_transitions"), 0) << json;
+  EXPECT_EQ(metric_value(json, "dpg_guard_errors"), 0) << json;
 }
 
 }  // namespace
