@@ -276,7 +276,7 @@ struct GuardedNoPoolPolicy {
 
   static const char* name() { return "dpguard-nopool"; }
 
-  static core::GuardedHeap& heap() {
+  static core::ShardedHeap& heap() {
     static core::Runtime& rt = core::Runtime::instance();
     return rt.heap();
   }

@@ -26,6 +26,14 @@ ShadowEngine::ShadowEngine(vm::PhysArena& arena, alloc::MallocLike& under,
                                    : &DegradationGovernor::process()) {
   head_.prev = &head_;
   head_.next = &head_;
+  // Magazines need every span page to be an arena alias; a trailing guard
+  // page cannot come from the magazine, so the config is mutually exclusive.
+  if (cfg_.magazine_slots >= 2 && !cfg_.trailing_guard_page) {
+    magazine_slots_ = std::min(cfg_.magazine_slots, kMaxMagazineSlots);
+    magazine_bytes_ = magazine_slots_ * vm::kPageSize;
+  }
+  remote_drain_threshold_ =
+      std::max<std::size_t>(cfg_.protect_batch * 2, std::size_t{256});
   obs::init_from_env();  // idempotent: arms DPG_TRACE / DPG_METRICS_* knobs
   FaultManager::instance().install();
 }
@@ -76,8 +84,7 @@ void* ShadowEngine::realloc(void* p, std::size_t new_size, SiteId site) {
     return nullptr;
   }
   const ObjectRecord* rec = ShadowRegistry::global().lookup(vm::addr(p));
-  if (rec == nullptr &&
-      stats_.degraded_allocs.load(std::memory_order_relaxed) != 0) {
+  if (rec == nullptr && degraded_pointers_possible()) {
     // Pointer from a degraded allocation: move it through whatever path the
     // current mode dictates. size_of reads the allocator's own header.
     const std::size_t old_size = under_.size_of(p);
@@ -103,6 +110,13 @@ void* ShadowEngine::realloc(void* p, std::size_t new_size, SiteId site) {
 }
 
 void* ShadowEngine::do_alloc_locked(std::size_t size, SiteId site) {
+  // Piggyback remote-free draining on the allocation path: the owner shard
+  // revokes cross-thread frees the next time it allocates, bounding the
+  // detection-delay window without a dedicated thread. One relaxed load when
+  // the list is empty.
+  if (remote_head_.load(std::memory_order_relaxed) != nullptr) {
+    drain_remote_locked();
+  }
   return gov_->on_alloc() == GuardMode::kFullGuard
              ? guarded_alloc_locked(size, site)
              : degraded_alloc_locked(size, site);
@@ -138,6 +152,188 @@ void* ShadowEngine::degraded_alloc_locked(std::size_t size, SiteId site) {
   return p;
 }
 
+bool ShadowEngine::degraded_pointers_possible() const noexcept {
+  // A registry miss at free time can only be a degraded pointer if SOME
+  // engine sharing this governor has served one: shards share the underlying
+  // heap, so a degraded canonical pointer may be freed on any shard, not just
+  // the one that allocated it.
+  return stats_.degraded_allocs.load(std::memory_order_relaxed) != 0 ||
+         gov_->counters().degraded_allocs.load(std::memory_order_relaxed) != 0;
+}
+
+void* ShadowEngine::install_record_locked(void* shadow_base,
+                                          std::size_t span_len,
+                                          std::size_t guard,
+                                          std::uintptr_t canon_addr,
+                                          std::uintptr_t first_page,
+                                          std::size_t size, SiteId site) {
+  // Header word: the canonical address, written through the shadow view (the
+  // same physical memory, so the underlying allocator could equally read it
+  // at the canonical address).
+  const std::uintptr_t shadow_canon =
+      vm::addr(shadow_base) + (canon_addr - first_page);
+  *reinterpret_cast<std::uintptr_t*>(shadow_canon) = canon_addr;
+
+  auto* rec = new ObjectRecord;
+  rec->shadow_base = vm::addr(shadow_base);
+  rec->span_length = span_len;
+  rec->guard_length = guard;
+  rec->user_shadow = shadow_canon + kGuardHeader;
+  rec->user_size = size;
+  rec->canonical = canon_addr;
+  rec->alloc_site = site;
+  rec->owner_shard = shard_id_;
+  rec->state.store(ObjectState::kLive, std::memory_order_release);
+
+  // Append at tail: the list stays ordered oldest-first for reclamation.
+  rec->prev = head_.prev;
+  rec->next = &head_;
+  head_.prev->next = rec;
+  head_.prev = rec;
+
+  ShadowRegistry::global().insert(*rec);
+
+  stats_.allocations.fetch_add(1, std::memory_order_relaxed);
+  stats_.live_records.fetch_add(1, std::memory_order_relaxed);
+  stats_.guarded_bytes.fetch_add(span_len, std::memory_order_relaxed);
+  obs::record_event(obs::EventKind::kAlloc, rec->user_shadow, size, site);
+  return reinterpret_cast<void*>(rec->user_shadow);
+}
+
+void* ShadowEngine::magazine_claim_locked(std::uintptr_t first_page,
+                                          std::size_t data_span) {
+  // Windows tile the arena's *file-offset* space, so a window's slab in the
+  // memfd is contiguous and one mmap aliases all of it. (The canonical VA of
+  // the window base follows from the arena being one contiguous mapping.)
+  const std::size_t win = magazine_bytes_;
+  const std::size_t off_in_window =
+      arena_.offset_of(reinterpret_cast<void*>(first_page)) % win;
+  if (off_in_window + data_span > win) return nullptr;  // straddles windows
+  const std::uintptr_t window_base = first_page - off_in_window;
+  const std::size_t slot0 = off_in_window / vm::kPageSize;
+  const std::size_t nslots = data_span / vm::kPageSize;
+
+  auto it = magazines_.find(window_base);
+  if (it != magazines_.end()) {
+    Magazine& m = it->second;
+    bool run_free = true;
+    for (std::size_t s = slot0; s < slot0 + nslots; ++s) {
+      if ((m.claimed[s / 64] >> (s % 64)) & 1u) {
+        run_free = false;
+        break;
+      }
+    }
+    if (run_free) {
+      for (std::size_t s = slot0; s < slot0 + nslots; ++s) {
+        m.claimed[s / 64] |= std::uint64_t{1} << (s % 64);
+      }
+      m.free_slots -= nslots;
+      stats_.magazine_hits.fetch_add(1, std::memory_order_relaxed);
+      const std::uintptr_t sb = m.shadow_base + off_in_window;
+      if (m.free_slots == 0) {
+        // Fully carved: every page of the generation is owned by some
+        // object record now, so there is nothing left to track or retire.
+        magazines_.erase(it);
+      }
+      return reinterpret_cast<void*>(sb);
+    }
+    // Collision: this canonical page already claimed its slot in the current
+    // generation (a second object on the same page needs a second alias).
+    // Retire eagerly once the generation is mostly claimed — at that point
+    // its remaining value is small and a collision means the allocator has
+    // started *recycling* canonical pages through this window, so one remap
+    // turns the whole reuse stream back into zero-syscall hits. A young,
+    // sparsely-claimed generation instead falls back to the per-object path
+    // (same cost as the paper's scheme) until a miss backstop: densely
+    // packed sub-page objects would otherwise remap — and burn a fresh
+    // window-sized VA — on every second allocation.
+    constexpr std::uint32_t kRetireMissBackstop = 2;
+    ++m.misses;
+    const std::size_t claimed = magazine_slots_ - m.free_slots;
+    if (claimed * 2 < magazine_slots_ && m.misses < kRetireMissBackstop) {
+      return nullptr;
+    }
+    retire_magazine_locked(window_base, m);
+    magazines_.erase(it);
+    // fall through: map a fresh generation
+  }
+
+  // First touch of this window (or a fresh generation after retirement).
+  // Prefer a recycled window-sized VA; take_exact never splits a larger
+  // span, so the magazine path cannot fragment the single-span donors.
+  void* fixed = nullptr;
+  if (cfg_.reuse_shadow_va && shadow_freelist_ != nullptr) {
+    if (auto reused = shadow_freelist_->take_exact(win)) {
+      fixed = reinterpret_cast<void*>(reused->base);
+    }
+  }
+  const vm::sys::MapResult res =
+      mapper_.try_alias_bulk(reinterpret_cast<void*>(window_base), win, fixed);
+  if (!res.ok()) {
+    if (fixed != nullptr && shadow_freelist_ != nullptr) {
+      // MAP_FIXED failure leaves the old mapping intact: still reusable.
+      shadow_freelist_->put(vm::PageRange{vm::addr(fixed), win});
+    }
+    // Caller takes the per-object path, which owns failure/degradation.
+    return nullptr;
+  }
+  stats_.magazine_maps.fetch_add(1, std::memory_order_relaxed);
+  if (fixed != nullptr) {
+    stats_.shadow_pages_reused.fetch_add(win / vm::kPageSize,
+                                         std::memory_order_relaxed);
+  } else {
+    stats_.shadow_pages_mapped.fetch_add(win / vm::kPageSize,
+                                         std::memory_order_relaxed);
+    gov_->add_vmas(1);
+  }
+
+  Magazine m;
+  m.shadow_base = vm::addr(res.ptr);
+  m.free_slots = magazine_slots_;
+  for (std::size_t s = slot0; s < slot0 + nslots; ++s) {
+    m.claimed[s / 64] |= std::uint64_t{1} << (s % 64);
+  }
+  m.free_slots -= nslots;
+  const std::uintptr_t sb = m.shadow_base + off_in_window;
+  magazines_.emplace(window_base, m);
+  return reinterpret_cast<void*>(sb);
+}
+
+void ShadowEngine::retire_magazine_locked(std::uintptr_t window_base,
+                                          Magazine& m) {
+  (void)window_base;
+  if (m.free_slots == 0) return;
+  // Recycle maximal runs of never-claimed slots. Safe: no pointer into these
+  // pages was ever handed out, so MAP_FIXED reuse cannot mask a dangling use.
+  std::size_t s = 0;
+  while (s < magazine_slots_) {
+    if ((m.claimed[s / 64] >> (s % 64)) & 1u) {
+      ++s;
+      continue;
+    }
+    std::size_t e = s;
+    while (e < magazine_slots_ && !((m.claimed[e / 64] >> (e % 64)) & 1u)) {
+      ++e;
+    }
+    const vm::PageRange run{m.shadow_base + s * vm::kPageSize,
+                            (e - s) * vm::kPageSize};
+    if (shadow_freelist_ != nullptr) {
+      shadow_freelist_->put(run);
+    } else {
+      arena_.unmap(reinterpret_cast<void*>(run.base), run.length);
+    }
+    stats_.magazine_slots_recycled.fetch_add(e - s,
+                                             std::memory_order_relaxed);
+    s = e;
+  }
+  m.free_slots = 0;
+}
+
+void ShadowEngine::drop_magazines_locked() {
+  for (auto& [base, m] : magazines_) retire_magazine_locked(base, m);
+  magazines_.clear();
+}
+
 void* ShadowEngine::guarded_alloc_locked(std::size_t size, SiteId site) {
   // "An allocation request is passed to malloc with the size incremented by
   //  sizeof(addr_t) bytes; the extra bytes at the start of the object will be
@@ -150,6 +346,16 @@ void* ShadowEngine::guarded_alloc_locked(std::size_t size, SiteId site) {
   const std::size_t data_span = vm::page_up(canon_addr + total) - first_page;
   const std::size_t guard = cfg_.trailing_guard_page ? vm::kPageSize : 0;
   const std::size_t span_len = data_span + guard;
+
+  // Magazine fast path: carve the shadow span out of the window's current
+  // generation — zero syscalls on a hit. (magazine_slots_ is zero when
+  // trailing_guard_page is set, so guard == 0 on this path.)
+  if (magazine_slots_ != 0) {
+    if (void* sb = magazine_claim_locked(first_page, data_span)) {
+      return install_record_locked(sb, span_len, guard, canon_addr, first_page,
+                                   size, site);
+    }
+  }
 
   void* fixed = nullptr;
   if (cfg_.reuse_shadow_va && shadow_freelist_ != nullptr) {
@@ -206,7 +412,6 @@ void* ShadowEngine::guarded_alloc_locked(std::size_t size, SiteId site) {
     gov_->on_syscall_failure("shadow-alias", alias.err);
     return degraded_alloc_locked(size, site);
   }
-  void* shadow_base = alias.ptr;
   gov_->add_vmas(fresh_vmas);
 
   if (fixed != nullptr) {
@@ -217,36 +422,8 @@ void* ShadowEngine::guarded_alloc_locked(std::size_t size, SiteId site) {
                                          std::memory_order_relaxed);
   }
 
-  // Header word: the canonical address, written through the shadow view (the
-  // same physical memory, so the underlying allocator could equally read it
-  // at the canonical address).
-  const std::uintptr_t shadow_canon = vm::addr(shadow_base) +
-                                      (canon_addr - first_page);
-  *reinterpret_cast<std::uintptr_t*>(shadow_canon) = canon_addr;
-
-  auto* rec = new ObjectRecord;
-  rec->shadow_base = vm::addr(shadow_base);
-  rec->span_length = span_len;
-  rec->guard_length = guard;
-  rec->user_shadow = shadow_canon + kGuardHeader;
-  rec->user_size = size;
-  rec->canonical = canon_addr;
-  rec->alloc_site = site;
-  rec->state.store(ObjectState::kLive, std::memory_order_release);
-
-  // Append at tail: the list stays ordered oldest-first for reclamation.
-  rec->prev = head_.prev;
-  rec->next = &head_;
-  head_.prev->next = rec;
-  head_.prev = rec;
-
-  ShadowRegistry::global().insert(*rec);
-
-  stats_.allocations.fetch_add(1, std::memory_order_relaxed);
-  stats_.live_records.fetch_add(1, std::memory_order_relaxed);
-  stats_.guarded_bytes.fetch_add(span_len, std::memory_order_relaxed);
-  obs::record_event(obs::EventKind::kAlloc, rec->user_shadow, size, site);
-  return reinterpret_cast<void*>(rec->user_shadow);
+  return install_record_locked(alias.ptr, span_len, guard, canon_addr,
+                               first_page, size, site);
 }
 
 void ShadowEngine::free(void* p, SiteId site) {
@@ -311,16 +488,56 @@ void ShadowEngine::degraded_free_locked(void* p, SiteId site) {
   quarantine_locked(p, bytes);
 }
 
+// Revocation of one freed record: protect the span and return the canonical
+// block, or queue both for the next batched flush. No flush/budget decisions
+// here — callers follow with maybe_flush_locked().
+void ShadowEngine::revoke_locked(ObjectRecord* rec) {
+  if (cfg_.protect_batch > 1 || cfg_.protect_batch_bytes != 0) {
+    // Deferred protection: the canonical block is NOT returned yet, so the
+    // physical memory cannot be reused before the span is protected.
+    pending_protect_.push_back(rec);
+    pending_protect_bytes_ += rec->span_length;
+    return;
+  }
+  const vm::sys::IoResult pr = arena_.try_revoke(
+      reinterpret_cast<void*>(rec->shadow_base), rec->span_length);
+  stats_.protect_calls.fetch_add(1, std::memory_order_relaxed);
+  freed_bytes_held_ += rec->span_length;
+  rec->revocation_done = true;
+  if (pr.ok()) {
+    stats_.revoked_spans.fetch_add(1, std::memory_order_relaxed);
+    under_.free(reinterpret_cast<void*>(rec->canonical));
+  } else {
+    // Revocation refused: the shadow stays readable, so the physical block
+    // must NOT be recycled (a new owner's data would leak through the stale
+    // alias). Park it in quarantine instead; the record stays registered, so
+    // a double free of this pointer is still caught exactly.
+    stats_.guard_failures.fetch_add(1, std::memory_order_relaxed);
+    gov_->on_syscall_failure("protect-none", pr.err);
+    quarantine_locked(reinterpret_cast<void*>(rec->canonical),
+                      rec->user_size + kGuardHeader);
+  }
+}
+
+void ShadowEngine::maybe_flush_locked() {
+  const bool count_full = cfg_.protect_batch > 1 &&
+                          pending_protect_.size() >= cfg_.protect_batch;
+  const bool bytes_full = cfg_.protect_batch_bytes != 0 &&
+                          pending_protect_bytes_ >= cfg_.protect_batch_bytes;
+  if (count_full || bytes_full) flush_protections_locked();
+  enforce_budget_locked();
+}
+
 void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
                                SiteId site) {
   const std::uintptr_t user = vm::addr(p);
   const ObjectRecord* found = ShadowRegistry::global().lookup(user);
-  if (found == nullptr &&
-      stats_.degraded_allocs.load(std::memory_order_relaxed) != 0) {
-    // Once this engine has served any degraded allocation, a registry miss is
-    // (almost surely) such a pointer coming back. Before the first degraded
-    // allocation a miss is still reported as an invalid free exactly as in
-    // full-guard mode — degradation never weakens a run it never touched.
+  if (found == nullptr && degraded_pointers_possible()) {
+    // Once any engine under this governor has served a degraded allocation, a
+    // registry miss is (almost surely) such a pointer coming back. Before the
+    // first degraded allocation a miss is still reported as an invalid free
+    // exactly as in full-guard mode — degradation never weakens a run it
+    // never touched.
     degraded_free_locked(p, site);
     return;
   }
@@ -335,71 +552,138 @@ void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
     lock.unlock();  // dispatch may longjmp; never hold the lock across it
     FaultManager::instance().raise_software(report);
   }
-  if (found->state.load(std::memory_order_acquire) == ObjectState::kFreed) {
-    // Deterministic double-free detection. (The paper's formulation — the
-    // header-word read trapping on the protected page — also holds here, but
-    // checking the record first yields a precise report.)
+  auto* rec = const_cast<ObjectRecord*>(found);
+
+  // The kLive->kFreed CAS is the single admission ticket for the free path:
+  // a loser — same thread, another thread on this shard, or a cross-shard
+  // free_remote racing us — sees kFreed and reports a deterministic double
+  // free. (The paper's formulation — the header-word read trapping on the
+  // protected page — also holds here, but the record check yields a precise
+  // report and stays exact while the revocation is still queued.)
+  ObjectState expected = ObjectState::kLive;
+  if (!rec->state.compare_exchange_strong(expected, ObjectState::kFreed,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
     stats_.double_frees.fetch_add(1, std::memory_order_relaxed);
     DanglingReport report;
     report.kind = AccessKind::kFree;
     report.fault_address = user;
-    report.object_base = found->user_shadow;
-    report.object_size = found->user_size;
-    report.alloc_site = found->alloc_site;
-    report.free_site = found->free_site;
+    report.object_base = rec->user_shadow;
+    report.object_size = rec->user_size;
+    report.alloc_site = rec->alloc_site;
+    report.free_site = rec->free_site.load(std::memory_order_relaxed);
     lock.unlock();
     FaultManager::instance().raise_software(report);
   }
-  auto* rec = const_cast<ObjectRecord*>(found);
 
   // Consistency check: the header word must still name the canonical address
-  // (its page is readable until the mprotect below).
+  // (its page is readable until the revocation mprotect).
   assert(*reinterpret_cast<std::uintptr_t*>(user - kGuardHeader) ==
          rec->canonical);
 
-  rec->free_site = site;
-  rec->state.store(ObjectState::kFreed, std::memory_order_release);
+  rec->free_site.store(site, std::memory_order_relaxed);
   stats_.frees.fetch_add(1, std::memory_order_relaxed);
   obs::record_event(obs::EventKind::kFree, user, rec->user_size, site);
 
-  if (cfg_.protect_batch > 1) {
-    // Deferred protection: the canonical block is NOT returned yet, so the
-    // physical memory cannot be reused before the span is protected.
-    pending_protect_.push_back(rec);
-    if (pending_protect_.size() >= cfg_.protect_batch) {
-      flush_protections_locked();
-      enforce_budget_locked();
-    }
-    return;
-  }
+  revoke_locked(rec);
+  maybe_flush_locked();
+}
 
-  const vm::sys::IoResult pr = vm::PhysArena::try_protect_none(
-      reinterpret_cast<void*>(rec->shadow_base), rec->span_length);
-  stats_.protect_calls.fetch_add(1, std::memory_order_relaxed);
-  freed_bytes_held_ += rec->span_length;
-  if (pr.ok()) {
-    under_.free(reinterpret_cast<void*>(rec->canonical));
-  } else {
-    // Revocation refused: the shadow stays readable, so the physical block
-    // must NOT be recycled (a new owner's data would leak through the stale
-    // alias). Park it in quarantine instead; the record stays registered, so
-    // a double free of this pointer is still caught exactly.
-    stats_.guard_failures.fetch_add(1, std::memory_order_relaxed);
-    gov_->on_syscall_failure("protect-none", pr.err);
-    quarantine_locked(reinterpret_cast<void*>(rec->canonical),
-                      rec->user_size + kGuardHeader);
+void ShadowEngine::free_remote(void* p, SiteId site) {
+  if (p == nullptr) return;
+  obs::ScopedLatency lat(obs::Hist::kFreeNs);
+  const std::uintptr_t user = vm::addr(p);
+  const ObjectRecord* found = ShadowRegistry::global().lookup(user);
+  // The router (ShardedHeap) only sends pointers it resolved to a record of
+  // this engine, so a miss here means the pointer went stale in between —
+  // report it like any invalid free. No lock is held on this path.
+  if (found == nullptr || found->user_shadow != user) {
+    stats_.invalid_frees.fetch_add(1, std::memory_order_relaxed);
+    DanglingReport report;
+    report.kind = AccessKind::kInvalidFree;
+    report.fault_address = user;
+    FaultManager::instance().raise_software(report);
   }
-  enforce_budget_locked();
+  auto* rec = const_cast<ObjectRecord*>(found);
+  ObjectState expected = ObjectState::kLive;
+  if (!rec->state.compare_exchange_strong(expected, ObjectState::kFreed,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+    // Exact cross-thread double free: the CAS loser raises immediately, even
+    // though the winner's revocation may still be queued on the owner.
+    stats_.double_frees.fetch_add(1, std::memory_order_relaxed);
+    DanglingReport report;
+    report.kind = AccessKind::kFree;
+    report.fault_address = user;
+    report.object_base = rec->user_shadow;
+    report.object_size = rec->user_size;
+    report.alloc_site = rec->alloc_site;
+    report.free_site = rec->free_site.load(std::memory_order_relaxed);
+    FaultManager::instance().raise_software(report);
+  }
+  rec->free_site.store(site, std::memory_order_relaxed);
+  stats_.frees.fetch_add(1, std::memory_order_relaxed);
+  stats_.remote_frees.fetch_add(1, std::memory_order_relaxed);
+  obs::record_event(obs::EventKind::kFree, user, rec->user_size, site);
+
+  // Lock-free MPSC push; the release CAS publishes free_site and the state
+  // transition to the owner's acquire exchange in drain_remote_locked.
+  ObjectRecord* old = remote_head_.load(std::memory_order_relaxed);
+  do {
+    rec->remote_next.store(old, std::memory_order_relaxed);
+  } while (!remote_head_.compare_exchange_weak(old, rec,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+  // Backstop: if the owner shard is idle (not allocating), the producer that
+  // crosses the threshold drains on the owner's behalf, bounding how much
+  // freed-but-unrevoked memory the queue can accumulate.
+  if (remote_pending_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      remote_drain_threshold_) {
+    drain_remote();
+  }
+}
+
+std::size_t ShadowEngine::drain_remote() {
+  std::lock_guard lock(mu_);
+  return drain_remote_locked();
+}
+
+std::size_t ShadowEngine::drain_remote_locked() {
+  ObjectRecord* node = remote_head_.exchange(nullptr,
+                                             std::memory_order_acquire);
+  if (node == nullptr) return 0;
+  std::size_t n = 0;
+  while (node != nullptr) {
+    ObjectRecord* next = node->remote_next.load(std::memory_order_relaxed);
+    node->remote_next.store(nullptr, std::memory_order_relaxed);
+    revoke_locked(node);
+    ++n;
+    node = next;
+  }
+  remote_pending_.fetch_sub(n, std::memory_order_relaxed);
+  obs::record_event(obs::EventKind::kRemoteDrain, shard_id_, n);
+  maybe_flush_locked();
+  return n;
 }
 
 void ShadowEngine::flush_protections() {
   std::lock_guard lock(mu_);
+  drain_remote_locked();  // routed-but-undrained frees flush too
   flush_protections_locked();
+  enforce_budget_locked();
+}
+
+std::size_t ShadowEngine::pending_revocations() const {
+  std::lock_guard lock(mu_);
+  return pending_protect_.size() +
+         remote_pending_.load(std::memory_order_relaxed);
 }
 
 void ShadowEngine::flush_protections_locked() {
   if (pending_protect_.empty()) return;
   // Address-sort and merge adjacent spans: one mprotect per contiguous run.
+  // Magazine-carved spans from the same window ARE adjacent when freed
+  // together, so churny phases collapse to a handful of calls.
   std::sort(pending_protect_.begin(), pending_protect_.end(),
             [](const ObjectRecord* a, const ObjectRecord* b) {
               return a->shadow_base < b->shadow_base;
@@ -415,12 +699,18 @@ void ShadowEngine::flush_protections_locked() {
       stats_.protect_calls_saved.fetch_add(1, std::memory_order_relaxed);
       ++j;
     }
-    const vm::sys::IoResult r = vm::PhysArena::try_protect_none(
+    const vm::sys::IoResult r = arena_.try_revoke(
         reinterpret_cast<void*>(run_base), run_len);
     stats_.protect_calls.fetch_add(1, std::memory_order_relaxed);
     if (r.ok()) {
+      if (j - i > 1) {
+        stats_.revoke_coalesced_pages.fetch_add(run_len / vm::kPageSize,
+                                                std::memory_order_relaxed);
+      }
+      stats_.revoked_spans.fetch_add(j - i, std::memory_order_relaxed);
       for (std::size_t k = i; k < j; ++k) {
         ObjectRecord* rec = pending_protect_[k];
+        rec->revocation_done = true;
         under_.free(reinterpret_cast<void*>(rec->canonical));
         freed_bytes_held_ += rec->span_length;
       }
@@ -430,11 +720,13 @@ void ShadowEngine::flush_protections_locked() {
       gov_->on_syscall_failure("protect-batch", r.err);
       for (std::size_t k = i; k < j; ++k) {
         ObjectRecord* rec = pending_protect_[k];
-        const vm::sys::IoResult r2 = vm::PhysArena::try_protect_none(
+        const vm::sys::IoResult r2 = arena_.try_revoke(
             reinterpret_cast<void*>(rec->shadow_base), rec->span_length);
         stats_.protect_calls.fetch_add(1, std::memory_order_relaxed);
         freed_bytes_held_ += rec->span_length;
+        rec->revocation_done = true;
         if (r2.ok()) {
+          stats_.revoked_spans.fetch_add(1, std::memory_order_relaxed);
           under_.free(reinterpret_cast<void*>(rec->canonical));
         } else {
           stats_.guard_failures.fetch_add(1, std::memory_order_relaxed);
@@ -445,10 +737,12 @@ void ShadowEngine::flush_protections_locked() {
     }
     i = j;
   }
+  stats_.revoke_batches.fetch_add(1, std::memory_order_relaxed);
   obs::record_event(obs::EventKind::kProtectBatch,
                     pending_protect_.front()->shadow_base,
                     pending_protect_.size());
   pending_protect_.clear();
+  pending_protect_bytes_ = 0;
 }
 
 void ShadowEngine::enforce_budget_locked() {
@@ -456,10 +750,14 @@ void ShadowEngine::enforce_budget_locked() {
     return;
   }
   // §3.4 strategy 1: recycle the oldest freed spans down to half budget.
+  // Records whose revocation is still in flight (queued or on the remote
+  // list) are skipped — releasing them would leave live pointers in those
+  // queues.
   std::size_t target = freed_bytes_held_ - cfg_.freed_va_budget / 2;
   for (ObjectRecord* it = head_.next; it != &head_ && target > 0;) {
     ObjectRecord* next = it->next;
-    if (it->state.load(std::memory_order_relaxed) == ObjectState::kFreed) {
+    if (it->revocation_done &&
+        it->state.load(std::memory_order_relaxed) == ObjectState::kFreed) {
       const std::size_t len = it->span_length;
       release_record_locked(it, /*recycle_va=*/true);
       target = target > len ? target - len : 0;
@@ -488,7 +786,8 @@ void ShadowEngine::release_record_locked(ObjectRecord* rec, bool recycle_va) {
     gov_->add_vmas(rec->guard_length != 0 ? -2 : -1);
     obs::record_event(obs::EventKind::kVaReclaim, span.base, span.pages());
   }
-  if (rec->state.load(std::memory_order_relaxed) == ObjectState::kFreed) {
+  if (rec->state.load(std::memory_order_relaxed) == ObjectState::kFreed &&
+      rec->revocation_done) {
     freed_bytes_held_ -= rec->span_length;
   }
   stats_.va_reclaimed_pages.fetch_add(span.pages(), std::memory_order_relaxed);
@@ -501,20 +800,26 @@ void ShadowEngine::release_record_locked(ObjectRecord* rec, bool recycle_va) {
 
 void ShadowEngine::release_all() {
   std::lock_guard lock(mu_);
+  // Pooldestroy contract: callers quiesced every thread that could still
+  // free into this engine, so one drain empties the remote list for good.
+  drain_remote_locked();
   flush_protections_locked();  // pending canonical blocks must reach under_
   drain_quarantine_locked();
   while (head_.next != &head_) {
     release_record_locked(head_.next, /*recycle_va=*/true);
   }
+  drop_magazines_locked();
 }
 
 std::size_t ShadowEngine::reclaim_freed(std::size_t bytes) {
   std::lock_guard lock(mu_);
+  drain_remote_locked();
   flush_protections_locked();
   std::size_t reclaimed = 0;
   for (ObjectRecord* it = head_.next; it != &head_ && reclaimed < bytes;) {
     ObjectRecord* next = it->next;
-    if (it->state.load(std::memory_order_relaxed) == ObjectState::kFreed) {
+    if (it->revocation_done &&
+        it->state.load(std::memory_order_relaxed) == ObjectState::kFreed) {
       reclaimed += it->span_length;
       release_record_locked(it, /*recycle_va=*/true);
     }
@@ -525,10 +830,12 @@ std::size_t ShadowEngine::reclaim_freed(std::size_t bytes) {
 
 std::vector<ObjectRecord*> ShadowEngine::freed_records() {
   std::lock_guard lock(mu_);
+  drain_remote_locked();
   flush_protections_locked();  // external consumers expect protected spans
   std::vector<ObjectRecord*> out;
   for (ObjectRecord* it = head_.next; it != &head_; it = it->next) {
-    if (it->state.load(std::memory_order_relaxed) == ObjectState::kFreed) {
+    if (it->revocation_done &&
+        it->state.load(std::memory_order_relaxed) == ObjectState::kFreed) {
       out.push_back(it);
     }
   }
@@ -549,12 +856,14 @@ std::vector<ObjectRecord*> ShadowEngine::live_records() {
 void ShadowEngine::reclaim(ObjectRecord* rec) {
   std::lock_guard lock(mu_);
   assert(rec->state.load(std::memory_order_relaxed) == ObjectState::kFreed);
+  assert(rec->revocation_done);
   release_record_locked(rec, /*recycle_va=*/true);
 }
 
 GuardStats ShadowEngine::stats() const {
   // Under the engine lock every writer is quiesced, so this snapshot is a
-  // fully consistent cut (see the contract in stats.h).
+  // fully consistent cut (see the contract in stats.h) — except the lock-free
+  // remote-free producers, whose counters are per-counter accurate.
   std::lock_guard lock(mu_);
   return stats_.snapshot();
 }

@@ -17,12 +17,35 @@
 // strategy 1), or a conservative GC pass (§3.4 strategy 2) push spans onto a
 // shared VA free list, and new shadow mappings are placed over recycled
 // addresses with MAP_FIXED — no munmap per object.
+//
+// Scaling layers (DESIGN.md §11):
+//
+//   Slot magazines   one bulk mmap aliases a whole window of N canonical
+//                    pages; objects landing in the window carve their shadow
+//                    pages out of it with zero syscalls. A window slot serves
+//                    one object per magazine generation (two objects on the
+//                    same canonical page need two aliases), so collisions
+//                    fall back to the per-object path — dense small-object
+//                    packing costs what the paper's scheme cost, page-sized
+//                    and marching allocations amortize to ~1/N.
+//   Revocation queue freed spans accumulate (canonical reuse deferred with
+//                    them), are address-sorted, coalesced into maximal runs,
+//                    and revoked with one mprotect per run; flushed on batch
+//                    count, on byte budget, and at pooldestroy/teardown.
+//   Remote frees     cross-shard frees transition the record kLive->kFreed
+//                    at the free site (double-free detection stays exact and
+//                    immediate) and queue the revocation on the owning
+//                    shard's lock-free MPSC list, drained under that shard's
+//                    lock (see ShardedHeap, core/sharded_heap.h).
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "alloc/alloc_iface.h"
@@ -50,16 +73,31 @@ struct GuardConfig {
   // still live. Page-granular: tail slack within the last data page is not
   // covered (the aliasing constraint pins the object's in-page offset).
   // Costs one extra virtual page per allocation, zero physical memory.
+  // Incompatible with magazines (the guard page must NOT alias the arena);
+  // when set, allocations take the per-object path.
   bool trailing_guard_page = false;
   // Extension (paper §6: reducing the per-deallocation syscall cost): defer
   // protection of freed objects and apply it in address-sorted batches,
   // merging adjacent shadow spans into single mprotect calls. The underlying
   // free is deferred with it, so freed memory is never reused before it is
   // protected — soundness against *reuse* is kept; the trade is a bounded
-  // window (at most protect_batch frees) during which a dangling use reads
-  // stale-but-unreused data undetected. 0 = protect immediately (the
-  // paper's configuration).
+  // window (at most protect_batch frees / protect_batch_bytes span bytes)
+  // during which a dangling use reads stale-but-unreused data undetected.
+  // Double frees stay exact throughout (the record state transition, not the
+  // page protection, detects them). 0 = protect immediately (the paper's
+  // configuration).
   std::size_t protect_batch = 0;
+  // Byte-budget flush for the revocation queue: pending shadow-span bytes
+  // above this force a flush even before protect_batch frees accumulate,
+  // bounding the stale-but-unreused memory the queue can pin. 0 = no byte
+  // trigger. Either trigger alone enables the queue.
+  std::size_t protect_batch_bytes = 0;
+  // Slot magazines: bulk-alias window size in pages (DPG_MAGAZINE_SLOTS).
+  // One mmap maps `magazine_slots` contiguous canonical pages; allocations
+  // whose canonical span lands on unclaimed slots of the window's current
+  // magazine get their shadow pages with zero syscalls. 0 or 1 = off (the
+  // paper's per-object alias). Clamped to [2, kMaxMagazineSlots].
+  std::size_t magazine_slots = 0;
   // Degradation policy (core/degrade.h). nullptr = share the process-wide
   // governor; tests and benches pass their own to pin or observe the ladder.
   DegradationGovernor* governor = nullptr;
@@ -98,13 +136,30 @@ class ShadowEngine {
   [[nodiscard]] void* malloc_unguarded(std::size_t size, SiteId site = 0);
   void free_unguarded(void* p, SiteId site = 0);
 
-  // Applies any deferred batched protections now (no-op when
-  // protect_batch == 0 or nothing is pending).
+  // Cross-shard free: callable from ANY thread, lock-free on this engine.
+  // The record must be one of this engine's (rec->owner_shard routing is
+  // ShardedHeap's job). Transitions kLive->kFreed via CAS right here — a
+  // double free, including one racing the owner, raises immediately with an
+  // exact report — then pushes the record onto the MPSC remote list; the
+  // revocation mprotect and the canonical return happen when the owner (or
+  // any caller, via drain_remote) next drains. Until that drain the span is
+  // freed-but-unprotected: the same bounded detection-delay window as the
+  // revocation queue, shrunk to zero by draining.
+  void free_remote(void* p, SiteId site = 0);
+
+  // Drains the remote-free list now (takes the engine lock; any thread may
+  // call). Returns the number of remote frees revoked.
+  std::size_t drain_remote();
+
+  // Applies any deferred batched protections now (no-op when the revocation
+  // queue is disabled or empty). Also drains the remote-free list first, so
+  // after this call every free issued-and-routed so far is revoked.
   void flush_protections();
 
   // Releases *every* span this engine created (live and freed): purges the
   // registry and recycles the VAs. This is the pooldestroy path — legal only
-  // when the caller can bound the lifetime of all pointers into the engine.
+  // when the caller can bound the lifetime of all pointers into the engine
+  // (including concurrent remote frees: callers must quiesce other threads).
   void release_all();
 
   // Recycles freed spans until at least `bytes` are reclaimed (oldest first).
@@ -125,23 +180,60 @@ class ShadowEngine {
   [[nodiscard]] alloc::MallocLike& underlying() noexcept { return under_; }
 
   static constexpr std::size_t kGuardHeader = sizeof(std::uintptr_t);
+  static constexpr std::size_t kMaxMagazineSlots = 256;
 
   // The engine's governor (never null after construction).
   [[nodiscard]] DegradationGovernor& governor() noexcept { return *gov_; }
 
+  // Shard identity (stamped into every record for cross-shard free routing).
+  void set_shard_id(std::uint32_t id) noexcept { shard_id_ = id; }
+  [[nodiscard]] std::uint32_t shard_id() const noexcept { return shard_id_; }
+
+  // Diagnostics for tests/benches: remote frees queued but not yet drained,
+  // and frees sitting in the revocation queue.
+  [[nodiscard]] std::size_t remote_pending() const noexcept {
+    return remote_pending_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t pending_revocations() const;
+
  private:
+  // One magazine generation: a bulk alias of a whole canonical window. Slots
+  // are claimed (bit set) once and never reused within the generation; the
+  // generation retires when fully claimed or at release_all, recycling any
+  // never-claimed slots.
+  struct Magazine {
+    std::uintptr_t shadow_base = 0;
+    std::array<std::uint64_t, kMaxMagazineSlots / 64> claimed{};
+    std::size_t free_slots = 0;
+    // Collisions (slot already claimed) observed against this generation;
+    // past a threshold the generation retires so heavy canonical-page reuse
+    // gets a fresh set of slots instead of falling back forever.
+    std::uint32_t misses = 0;
+  };
+
   void* do_alloc_locked(std::size_t size, SiteId site);
   void* guarded_alloc_locked(std::size_t size, SiteId site);
   void* degraded_alloc_locked(std::size_t size, SiteId site);
   void* alloc_canonical_locked(std::size_t bytes);
+  void* install_record_locked(void* shadow_base, std::size_t span_len,
+                              std::size_t guard, std::uintptr_t canon_addr,
+                              std::uintptr_t first_page, std::size_t size,
+                              SiteId site);
+  void* magazine_claim_locked(std::uintptr_t first_page, std::size_t data_span);
+  void retire_magazine_locked(std::uintptr_t window_base, Magazine& m);
+  void drop_magazines_locked();
   void free_locked(std::unique_lock<std::mutex>& lock, void* p, SiteId site);
   void degraded_free_locked(void* p, SiteId site);
   void quarantine_locked(void* block, std::size_t bytes);
   std::size_t drain_quarantine_locked();
+  void revoke_locked(ObjectRecord* rec);
+  void maybe_flush_locked();
+  std::size_t drain_remote_locked();
   void release_record_locked(ObjectRecord* rec, bool recycle_va);
   void unlink_locked(ObjectRecord* rec) noexcept;
   void flush_protections_locked();
   void enforce_budget_locked();
+  [[nodiscard]] bool degraded_pointers_possible() const noexcept;
 
   vm::PhysArena& arena_;
   alloc::MallocLike& under_;
@@ -149,6 +241,18 @@ class ShadowEngine {
   vm::ShadowMapper mapper_;
   GuardConfig cfg_;
   DegradationGovernor* gov_;
+  std::uint32_t shard_id_ = 0;
+
+  // Slot magazines: canonical-window base -> current generation.
+  std::size_t magazine_slots_ = 0;  // validated; 0 = off
+  std::size_t magazine_bytes_ = 0;
+  std::unordered_map<std::uintptr_t, Magazine> magazines_;
+
+  // Cross-shard remote-free list (MPSC: producers CAS-push lock-free,
+  // consumer exchanges the head under mu_).
+  std::atomic<ObjectRecord*> remote_head_{nullptr};
+  std::atomic<std::size_t> remote_pending_{0};
+  std::size_t remote_drain_threshold_ = 256;
 
   // Delayed-reuse quarantine for degraded frees (and for canonical blocks
   // whose revocation mprotect was refused): the physical memory is parked,
@@ -163,7 +267,8 @@ class ShadowEngine {
 
   mutable std::mutex mu_;
   ObjectRecord head_;  // intrusive list sentinel, oldest first
-  std::vector<ObjectRecord*> pending_protect_;  // batched-mode frees
+  std::vector<ObjectRecord*> pending_protect_;  // revocation queue
+  std::size_t pending_protect_bytes_ = 0;
   std::size_t freed_bytes_held_ = 0;
   GuardCounters stats_;
 };
@@ -171,6 +276,8 @@ class ShadowEngine {
 // GuardedHeap: drop-in malloc/free built from a SegregatedHeap inside a
 // PhysArena plus a ShadowEngine. This is the "directly applicable to
 // binaries" configuration (no pool allocation): just intercept malloc/free.
+// Single-engine; the multi-core configuration is ShardedHeap
+// (core/sharded_heap.h).
 class GuardedHeap {
  public:
   explicit GuardedHeap(vm::PhysArena& arena, GuardConfig cfg = {});

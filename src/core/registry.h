@@ -37,11 +37,28 @@ struct ObjectRecord {
   std::size_t user_size = 0;       // requested payload size
   std::uintptr_t canonical = 0;    // address the underlying allocator returned
   SiteId alloc_site = 0;
-  SiteId free_site = 0;
+  // Atomic because a double free racing a cross-shard free reads it for the
+  // report while the CAS winner writes it; relaxed is fine (diagnostic only).
+  std::atomic<SiteId> free_site{0};
+  std::uint32_t owner_shard = 0;   // index of the ShadowEngine shard that
+                                   // created the record (ShardedHeap routing)
   std::atomic<ObjectState> state{ObjectState::kLive};
+  // True once the free's revocation resolved: the span reached PROT_NONE (or
+  // the refused mprotect was absorbed by quarantining the canonical block).
+  // Written and read only under the owner engine's lock. Records with
+  // state==kFreed but !revocation_done are in flight — sitting in the
+  // revocation queue or on the remote-free list — and must not be released
+  // by budget reclamation or handed to the GC.
+  bool revocation_done = false;
 
   ObjectRecord* prev = nullptr;  // intrusive owner list
   ObjectRecord* next = nullptr;
+
+  // Cross-shard remote-free list (lock-free MPSC Treiber stack). A record is
+  // pushed here at most once — the kLive->kFreed CAS in the freeing thread
+  // is the unique admission ticket — and popped only by the owner shard
+  // under its engine lock, so the field never races with prev/next use.
+  std::atomic<ObjectRecord*> remote_next{nullptr};
 };
 
 class ShadowRegistry {

@@ -3,21 +3,27 @@
 // The paper stresses that "if reuse of address space is not important ...
 // our technique can be directly applied on the binaries ... we just need to
 // intercept all calls to malloc and free". dpg_malloc/dpg_free are that
-// interception surface: they route through a global GuardedHeap, with no
-// pool allocation involved. Programs wanting VA reuse use GuardedPool /
-// PoolScope (or the compiler substrate) instead.
+// interception surface: they route through a global ShardedHeap (per-thread
+// ShadowEngine shards over one arena; a single shard is exactly the classic
+// GuardedHeap configuration), with no pool allocation involved. Programs
+// wanting VA reuse use GuardedPool / PoolScope (or the compiler substrate)
+// instead.
 #pragma once
 
 #include <cstddef>
 
 #include "core/guarded_heap.h"
 #include "core/guarded_pool.h"
+#include "core/sharded_heap.h"
 
 namespace dpg::core {
 
 struct RuntimeConfig {
   GuardConfig guard;
   std::size_t arena_window = vm::PhysArena::kDefaultWindow;
+  // Engine shards behind dpg_malloc/dpg_free (core/sharded_heap.h).
+  // 0 = min(hardware_concurrency, 8).
+  std::size_t shards = 0;
 };
 
 class Runtime {
@@ -25,7 +31,7 @@ class Runtime {
   // First call fixes the configuration; later calls ignore `cfg`.
   static Runtime& instance(const RuntimeConfig& cfg = {});
 
-  [[nodiscard]] GuardedHeap& heap() noexcept { return heap_; }
+  [[nodiscard]] ShardedHeap& heap() noexcept { return heap_; }
   [[nodiscard]] vm::PhysArena& arena() noexcept { return arena_; }
 
   // Aggregate §3.4 arithmetic: seconds until a process that consumes
@@ -40,14 +46,16 @@ class Runtime {
 
  private:
   explicit Runtime(const RuntimeConfig& cfg)
-      : arena_(cfg.arena_window), heap_(arena_, cfg.guard) {}
+      : arena_(cfg.arena_window), heap_(arena_, cfg.guard, cfg.shards) {}
 
-  // Registers the process heap's GuardCounters with the obs exporter (the
-  // Runtime is immortal, so the pointers stay valid for any late dump).
+  // Registers the process heap's counters with the obs exporter, as dump-time
+  // sums over the shards so the dpg_* series stay process-wide no matter how
+  // many engines serve them (the Runtime is immortal, so the pointers stay
+  // valid for any late dump).
   void export_counters() noexcept;
 
   vm::PhysArena arena_;
-  GuardedHeap heap_;
+  ShardedHeap heap_;
 };
 
 // Drop-in allocation entry points backed by Runtime::instance().

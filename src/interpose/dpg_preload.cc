@@ -34,6 +34,7 @@
 #include "core/degrade.h"
 #include "core/registry.h"
 #include "core/runtime.h"
+#include "obs/env.h"
 #include "obs/metrics.h"
 
 extern "C" {
@@ -58,12 +59,27 @@ dpg::core::Runtime& runtime() {
   // guarded allocation so even the earliest events are recorded. Idempotent;
   // internal allocations route to __libc_malloc under the depth guard.
   dpg::obs::init_from_env();
+  // Performance knobs (DESIGN.md §11). Defaults keep detection immediate:
+  // magazines only amortize the *allocation* mmap, so they are on by default;
+  // batched revocation delays the free-side mprotect, so it stays opt-in.
+  dpg::core::RuntimeConfig cfg{
+      .guard = {.freed_va_budget = std::size_t{256} << 20}};
+  cfg.guard.magazine_slots = static_cast<std::size_t>(dpg::obs::env_long(
+      "DPG_MAGAZINE_SLOTS", 64, 0,
+      static_cast<long>(dpg::core::ShadowEngine::kMaxMagazineSlots)));
+  cfg.guard.protect_batch = static_cast<std::size_t>(
+      dpg::obs::env_long("DPG_PROTECT_BATCH", 0, 0, 1 << 20));
+  cfg.guard.protect_batch_bytes = static_cast<std::size_t>(
+      dpg::obs::env_long("DPG_PROTECT_BATCH_BYTES", 0, 0, LONG_MAX));
+  cfg.shards =
+      static_cast<std::size_t>(dpg::obs::env_long(
+          "DPG_SHARDS", 0, 0,
+          static_cast<long>(dpg::core::ShardedHeap::kMaxShards)));
   // Runtime construction allocates; the caller holds the depth guard.
-  return dpg::core::Runtime::instance(
-      {.guard = {.freed_va_budget = std::size_t{256} << 20}});
+  return dpg::core::Runtime::instance(cfg);
 }
 
-dpg::core::GuardedHeap& heap() { return runtime().heap(); }
+dpg::core::ShardedHeap& heap() { return runtime().heap(); }
 
 // True when `p` belongs to the guard runtime: either a guarded (shadow-page)
 // pointer, or a degraded allocation served straight from the canonical

@@ -63,8 +63,19 @@ constexpr std::size_t kMaxCounters = 64;
 struct NamedCounter {
   const char* name = nullptr;
   const std::atomic<std::uint64_t>* value = nullptr;
+  CounterFn fn = nullptr;   // when set, the exported value is fn(ctx)
+  const void* ctx = nullptr;
 };
 NamedCounter g_counters[kMaxCounters];
+
+// Exported value of one registered counter. The fn form lets a sharded
+// subsystem sum per-shard atomics on read; the callback must stay
+// async-signal-safe (relaxed loads + arithmetic, no locks, no allocation)
+// because every dump path, including SIGUSR1, goes through here.
+std::uint64_t counter_value(const NamedCounter& c) noexcept {
+  return c.fn != nullptr ? c.fn(c.ctx)
+                         : c.value->load(std::memory_order_relaxed);
+}
 std::atomic<unsigned> g_counter_count{0};
 std::mutex g_register_mu;
 
@@ -184,6 +195,19 @@ bool register_counter(const char* name,
   return true;
 }
 
+bool register_counter_fn(const char* name, CounterFn fn,
+                         const void* ctx) noexcept {
+  std::lock_guard lock(g_register_mu);
+  const unsigned n = g_counter_count.load(std::memory_order_relaxed);
+  if (n >= kMaxCounters) return false;
+  g_counters[n].name = name;
+  g_counters[n].value = nullptr;
+  g_counters[n].fn = fn;
+  g_counters[n].ctx = ctx;
+  g_counter_count.store(n + 1, std::memory_order_release);
+  return true;
+}
+
 void init_from_env() noexcept {
   static std::once_flag once;
   std::call_once(once, [] {
@@ -238,7 +262,7 @@ std::size_t render_json(char* buf, std::size_t cap,
   for (unsigned i = 0; i < n; ++i) {
     if (i != 0) at = fmt::put_str(buf, cap, at, ",");
     at = fmt::put_json_kv(buf, cap, at, g_counters[i].name,
-                          g_counters[i].value->load(std::memory_order_relaxed));
+                          counter_value(g_counters[i]));
   }
   at = fmt::put_str(buf, cap, at, "},\"histograms\":{");
   for (unsigned i = 0; i < static_cast<unsigned>(Hist::kCount); ++i) {
@@ -272,8 +296,7 @@ std::size_t render_prometheus(char* buf, std::size_t cap) noexcept {
     at = fmt::put_str(buf, cap, at, " counter\n");
     at = fmt::put_str(buf, cap, at, g_counters[i].name);
     at = fmt::put_str(buf, cap, at, " ");
-    at = fmt::put_dec(buf, cap, at,
-                      g_counters[i].value->load(std::memory_order_relaxed));
+    at = fmt::put_dec(buf, cap, at, counter_value(g_counters[i]));
     at = fmt::put_str(buf, cap, at, "\n");
   }
   static constexpr unsigned kQuantiles[] = {50, 95, 99};

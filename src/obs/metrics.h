@@ -110,6 +110,16 @@ class ScopedLatency {
 bool register_counter(const char* name,
                       const std::atomic<std::uint64_t>* value) noexcept;
 
+// Computed-counter registration for sharded subsystems: the exported value is
+// `fn(ctx)` evaluated at dump time (e.g. summing per-shard atomics so the
+// exporter presents one consistent process-wide series). `fn` runs on every
+// dump path INCLUDING the SIGUSR1 handler, so it must be async-signal-safe:
+// relaxed atomic loads and arithmetic only — no locks, no allocation. Both
+// pointers must stay valid forever, like register_counter.
+using CounterFn = std::uint64_t (*)(const void* ctx);
+bool register_counter_fn(const char* name, CounterFn fn,
+                         const void* ctx) noexcept;
+
 // Parses the env knobs and arms the exporter (atexit hook, SIGUSR1 handler,
 // optional periodic thread). Idempotent and cheap after the first call; the
 // guard runtime calls it from every engine constructor.

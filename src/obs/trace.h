@@ -34,6 +34,8 @@ enum class EventKind : std::uint16_t {
   kPoolInit,      // addr = pool scope
   kPoolDestroy,   // addr = pool scope
   kDegrade,       // addr = new GuardMode, arg = old GuardMode
+  kMagazineMap,   // addr = magazine shadow base, arg = slot pages mapped
+  kRemoteDrain,   // addr = shard id, arg = remote frees drained
 };
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
@@ -48,6 +50,8 @@ enum class EventKind : std::uint16_t {
     case EventKind::kPoolInit: return "pool-init";
     case EventKind::kPoolDestroy: return "pool-destroy";
     case EventKind::kDegrade: return "degrade";
+    case EventKind::kMagazineMap: return "magazine-map";
+    case EventKind::kRemoteDrain: return "remote-drain";
   }
   return "?";
 }

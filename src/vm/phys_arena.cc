@@ -125,6 +125,16 @@ sys::IoResult PhysArena::try_protect_none(void* p, std::size_t len) noexcept {
   return sys::protect(p, page_up(len), PROT_NONE);
 }
 
+sys::IoResult PhysArena::try_revoke(void* p, std::size_t len) noexcept {
+  sys::IoResult r = try_protect_none(p, len);
+  if (!r.ok() && r.err == ENOMEM) {
+    // Same pressure as mmap ENOMEM: the split pushed the process over
+    // vm.max_map_count. Hand recyclable spans back and retry once.
+    if (release_relief() > 0) r = try_protect_none(p, len);
+  }
+  return r;
+}
+
 sys::IoResult PhysArena::try_protect_rw(void* p, std::size_t len) noexcept {
   return sys::protect(p, page_up(len), PROT_READ | PROT_WRITE);
 }

@@ -89,6 +89,11 @@ class PhysArena {
 
   // Page-protection primitives used on shadow pages at free / reuse.
   static sys::IoResult try_protect_none(void* p, std::size_t len) noexcept;
+  // Revocation variant with the same ENOMEM posture as try_map_shadow:
+  // mprotect(PROT_NONE) *splits* a VMA, so it hits vm.max_map_count just
+  // like mmap does. On ENOMEM the relief lists are released (coalesce +
+  // munmap of every recyclable shadow span) and the protect retried once.
+  sys::IoResult try_revoke(void* p, std::size_t len) noexcept;
   static sys::IoResult try_protect_rw(void* p, std::size_t len) noexcept;
   static void protect_none(void* p, std::size_t len);  // throws system_error
   static void protect_rw(void* p, std::size_t len);    // throws system_error

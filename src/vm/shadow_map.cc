@@ -80,6 +80,18 @@ sys::MapResult ShadowMapper::try_alias(const void* canonical_page,
   return shadow;
 }
 
+sys::MapResult ShadowMapper::try_alias_bulk(const void* canonical_window,
+                                            std::size_t len,
+                                            void* fixed) noexcept {
+  const sys::MapResult shadow =
+      arena_.try_map_shadow(canonical_window, len, fixed);
+  if (shadow.ok()) {
+    obs::record_event(obs::EventKind::kMagazineMap, addr(shadow.ptr),
+                      page_up(len) / kPageSize);
+  }
+  return shadow;
+}
+
 void* ShadowMapper::alias(const void* canonical_page, std::size_t len,
                           void* fixed) {
   const sys::MapResult r = try_alias(canonical_page, len, fixed);

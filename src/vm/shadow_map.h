@@ -41,6 +41,19 @@ class ShadowMapper {
   [[nodiscard]] void* alias(const void* canonical_page, std::size_t len,
                             void* fixed = nullptr);
 
+  // Bulk alias (slot magazines): maps a contiguous run of canonical pages —
+  // a whole magazine window — in ONE syscall, so the per-object alias cost
+  // amortizes to 1/N. Always goes through the memfd view regardless of the
+  // configured strategy: mremap(old_size = 0) duplicates an existing mapping
+  // wholesale and cannot window into the canonical heap at magazine
+  // granularity, while an mmap of the arena fd at the window's offset can.
+  // Offsets beyond the current file length are legal (memfd MAP_SHARED);
+  // those trailing slots become usable the moment the arena grows over them,
+  // and the engine only carves slots whose canonical pages exist.
+  [[nodiscard]] sys::MapResult try_alias_bulk(const void* canonical_window,
+                                              std::size_t len,
+                                              void* fixed = nullptr) noexcept;
+
   [[nodiscard]] AliasStrategy strategy() const noexcept { return strategy_; }
 
   // True iff mremap(old_size=0) duplication works on this kernel.

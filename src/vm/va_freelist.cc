@@ -16,9 +16,28 @@ void VaFreeList::put(PageRange range) {
   assert(range.length % kPageSize == 0);
   if (range.length == 0) return;
   obs::record_event(obs::EventKind::kVaReclaim, range.base, range.pages());
+  bool over_water = false;
+  {
+    std::lock_guard lock(mu_);
+    buckets_[range.pages()].push_back(range.base);
+    bytes_ += range.length;
+    ++count_;
+    over_water = trim_limit_ != 0 && count_ >= trim_limit_;
+  }
+  // High-water crossing: reuse is not keeping up with donation, and every
+  // held range is one VMA against vm.max_map_count. Drain the whole list
+  // through the coalescing release path — adjacent ranges merge into a
+  // handful of munmap calls, so the trim amortizes to far less than one
+  // syscall per range (a retail unmap-per-put here measurably halves
+  // multi-thread throughput). Draining while the kernel still has map-slot
+  // headroom is the point: at the hard limit even munmap can fail, because
+  // unmapping the interior of a VMA must split it.
+  if (over_water) release_all();
+}
+
+void VaFreeList::set_trim_limit(std::size_t ranges) noexcept {
   std::lock_guard lock(mu_);
-  buckets_[range.pages()].push_back(range.base);
-  bytes_ += range.length;
+  trim_limit_ = ranges;
 }
 
 std::optional<PageRange> VaFreeList::take(std::size_t len) {
@@ -32,6 +51,7 @@ std::optional<PageRange> VaFreeList::take(std::size_t len) {
     it->second.pop_back();
     if (it->second.empty()) buckets_.erase(it);
     bytes_ -= want;
+    --count_;
     return PageRange{base, want};
   }
   // Otherwise split the smallest strictly-larger range.
@@ -45,8 +65,24 @@ std::optional<PageRange> VaFreeList::take(std::size_t len) {
   const std::size_t rest_pages = donor_pages - want_pages;
   if (rest_pages > 0) {
     buckets_[rest_pages].push_back(base + want);
+  } else {
+    --count_;
   }
   bytes_ -= want;
+  return PageRange{base, want};
+}
+
+std::optional<PageRange> VaFreeList::take_exact(std::size_t len) {
+  const std::size_t want = page_up(len);
+  const std::size_t want_pages = want / kPageSize;
+  std::lock_guard lock(mu_);
+  auto it = buckets_.find(want_pages);
+  if (it == buckets_.end() || it->second.empty()) return std::nullopt;
+  const std::uintptr_t base = it->second.back();
+  it->second.pop_back();
+  if (it->second.empty()) buckets_.erase(it);
+  bytes_ -= want;
+  --count_;
   return PageRange{base, want};
 }
 
@@ -69,6 +105,7 @@ std::size_t VaFreeList::release_all() noexcept {
     }
     buckets_.clear();
     bytes_ = 0;
+    count_ = 0;
     hook = hook_;
     hook_ctx = hook_ctx_;
   }
@@ -105,9 +142,7 @@ std::size_t VaFreeList::bytes() const {
 
 std::size_t VaFreeList::ranges() const {
   std::lock_guard lock(mu_);
-  std::size_t n = 0;
-  for (const auto& [pages, addrs] : buckets_) n += addrs.size();
-  return n;
+  return count_;
 }
 
 }  // namespace dpg::vm

@@ -37,12 +37,31 @@ class VaFreeList {
   VaFreeList(const VaFreeList&) = delete;
   VaFreeList& operator=(const VaFreeList&) = delete;
 
-  // Donates a mapped, page-aligned range for future reuse.
+  // Donates a mapped, page-aligned range for future reuse. Every held range
+  // is one live VMA, and vm.max_map_count is a hard per-process limit that
+  // even munmap needs headroom under (an interior unmap must *split* a VMA
+  // to proceed) — so when the held-range count crosses a high-water mark,
+  // put() drains the entire list through the coalescing release_all() path.
+  // Trimming proactively keeps the list's VMA footprint bounded long before
+  // the emergency valve, which only runs once the kernel already refused.
   void put(PageRange range);
+
+  // High-water range count at which put() triggers a coalesced full drain.
+  // Default kDefaultTrimLimit; 0 restores the unbounded pre-trim behaviour.
+  void set_trim_limit(std::size_t ranges) noexcept;
+  static constexpr std::size_t kDefaultTrimLimit = 16384;
 
   // Takes a range of at least `len` bytes (rounded to pages); returns exactly
   // page_up(len) bytes, splitting a larger donor if needed.
   [[nodiscard]] std::optional<PageRange> take(std::size_t len);
+
+  // Exact-fit take: returns a range of exactly page_up(len) bytes or nothing —
+  // never splits a larger donor. The magazine path uses this for
+  // magazine-sized spans so a miss falls through to a fresh mmap instead of
+  // shredding a big recycled run into slot-sized fragments (and, symmetrically,
+  // single-page takes keep their existing split-the-smallest behaviour: the
+  // two request streams coexist in one list without fragmenting each other).
+  [[nodiscard]] std::optional<PageRange> take_exact(std::size_t len);
 
   // Total recyclable bytes currently held.
   [[nodiscard]] std::size_t bytes() const;
@@ -79,6 +98,7 @@ class VaFreeList {
       }
       buckets_.clear();
       bytes_ = 0;
+      count_ = 0;
     }
     for (const PageRange& r : all) release(r);
   }
@@ -87,6 +107,8 @@ class VaFreeList {
   mutable std::mutex mu_;
   std::map<std::size_t, std::vector<std::uintptr_t>> buckets_;  // pages -> bases
   std::size_t bytes_ = 0;
+  std::size_t count_ = 0;                    // held ranges (== held VMAs)
+  std::size_t trim_limit_ = kDefaultTrimLimit;
   ReleaseHook hook_ = nullptr;
   void* hook_ctx_ = nullptr;
 };

@@ -4,19 +4,34 @@
 // component and a TLB component; the "PA + dummy syscalls" column isolates
 // the former. These counters let the bench harness report exactly how many
 // mmap/mprotect/mremap calls each configuration performed.
+//
+// Every counter sits on its own cache line: this struct is a single
+// process-wide instance bumped from every thread's alloc/free path, and with
+// the thread-sharded engines the syscall shim is the last piece of state all
+// shards still share — unpadded, the line holding `mmap` and `mprotect`
+// ping-pongs between cores on every guarded operation.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <new>
 
 namespace dpg::vm {
 
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr std::size_t kCacheLine =
+    std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t kCacheLine = 64;
+#endif
+
 struct SyscallCounters {
-  std::atomic<std::uint64_t> mmap{0};
-  std::atomic<std::uint64_t> munmap{0};
-  std::atomic<std::uint64_t> mprotect{0};
-  std::atomic<std::uint64_t> mremap{0};
-  std::atomic<std::uint64_t> ftruncate{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> mmap{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> munmap{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> mprotect{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> mremap{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> ftruncate{0};
 
   [[nodiscard]] std::uint64_t total() const noexcept {
     return mmap.load(std::memory_order_relaxed) +

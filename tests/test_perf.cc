@@ -1,0 +1,454 @@
+// Correctness of the performance layers (DESIGN.md §11): thread-sharded
+// engines with cross-shard remote frees, slot magazines, and batched
+// revocation. Everything here is about *detection guarantees surviving the
+// fast paths* — throughput itself is bench_mt's job.
+//
+// Labelled `perf` so the TSan preset exercises the remote-free MPSC list and
+// the shard routing under the race detector (see CMakePresets.json).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/degrade.h"
+#include "core/fault_manager.h"
+#include "core/guarded_heap.h"
+#include "core/sharded_heap.h"
+#include "vm/phys_arena.h"
+
+namespace dpg::core {
+namespace {
+
+// A worker thread that frees `p` through the heap. With >= 2 shards a fresh
+// thread's home shard often differs from the allocator's, making the free a
+// remote one; the tests that *require* the remote path spawn two workers so
+// at least one takes it (consecutive round-robin tokens cannot both match
+// the same single home shard when shards == 2).
+void free_on_other_thread(ShardedHeap& heap, void* p, SiteId site = 0) {
+  std::thread t([&heap, p, site] { heap.free(p, site); });
+  t.join();
+}
+
+TEST(ShardedHeap, CrossThreadFreeTrapsAfterDrain) {
+  vm::PhysArena arena;
+  DegradationGovernor gov;
+  GuardConfig cfg;
+  cfg.governor = &gov;
+  cfg.magazine_slots = 64;
+  cfg.protect_batch = 8;
+  ShardedHeap heap(arena, cfg, 2);
+
+  char* p = static_cast<char*>(heap.malloc(256, /*site=*/11));
+  ASSERT_NE(p, nullptr);
+  p[0] = 'x';
+  free_on_other_thread(heap, p, /*site=*/22);
+  // Whether the free was routed remotely or hit the owner directly, after a
+  // full flush the span must be PROT_NONE.
+  heap.flush_all();
+  auto rep = catch_dangling([&] {
+    volatile char c = *p;
+    (void)c;
+  });
+  ASSERT_TRUE(rep.has_value()) << "dangling read after cross-thread free";
+  EXPECT_EQ(rep->kind, AccessKind::kRead);
+  EXPECT_EQ(rep->object_base, vm::addr(p));
+  EXPECT_EQ(rep->object_size, 256u);
+  EXPECT_EQ(rep->alloc_site, 11u);
+  EXPECT_EQ(rep->free_site, 22u);
+}
+
+TEST(ShardedHeap, RemoteFreePathIsTakenAndDrained) {
+  vm::PhysArena arena;
+  DegradationGovernor gov;
+  GuardConfig cfg;
+  cfg.governor = &gov;
+  ShardedHeap heap(arena, cfg, 2);
+
+  // Two fresh threads have consecutive home-shard tokens: with two shards,
+  // at least one of them differs from this thread's home shard, so at least
+  // one of these frees must take free_remote.
+  void* a = heap.malloc(128);
+  void* b = heap.malloc(128);
+  free_on_other_thread(heap, a);
+  free_on_other_thread(heap, b);
+
+  GuardStats s = heap.stats();
+  EXPECT_GE(s.remote_frees, 1u);
+  EXPECT_EQ(s.frees, 2u);
+
+  heap.flush_all();
+  for (std::size_t i = 0; i < heap.shards(); ++i) {
+    EXPECT_EQ(heap.engine(i).remote_pending(), 0u);
+    EXPECT_EQ(heap.engine(i).pending_revocations(), 0u);
+  }
+  s = heap.stats();
+  EXPECT_EQ(s.revoked_spans, 2u) << "every routed free reached PROT_NONE";
+}
+
+TEST(ShardedHeap, CrossThreadDoubleFreeIsExact) {
+  vm::PhysArena arena;
+  DegradationGovernor gov;
+  GuardConfig cfg;
+  cfg.governor = &gov;
+  cfg.protect_batch = 64;  // keep the revocation queued: the CAS must detect
+  ShardedHeap heap(arena, cfg, 2);
+
+  void* p = heap.malloc(512, /*site=*/5);
+  free_on_other_thread(heap, p, /*site=*/6);
+
+  // Second free (this thread, possibly a different shard than the freer's):
+  // must raise an exact double-free report even though the revocation may
+  // still sit in the owner's queue or remote list.
+  auto rep = catch_dangling([&] { heap.free(p, /*site=*/7); });
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->kind, AccessKind::kFree);
+  EXPECT_EQ(rep->object_base, vm::addr(p));
+  EXPECT_EQ(rep->alloc_site, 5u);
+  EXPECT_EQ(rep->free_site, 6u) << "report carries the first free's site";
+  EXPECT_EQ(heap.stats().double_frees, 1u);
+}
+
+TEST(ShardedHeap, RacingFreesProduceExactlyOneDoubleFreeReport) {
+  vm::PhysArena arena;
+  DegradationGovernor gov;
+  GuardConfig cfg;
+  cfg.governor = &gov;
+  cfg.protect_batch = 64;
+  ShardedHeap heap(arena, cfg, 2);
+
+  constexpr int kRounds = 64;
+  for (int round = 0; round < kRounds; ++round) {
+    void* p = heap.malloc(64);
+    ASSERT_NE(p, nullptr);
+    std::atomic<int> reports{0};
+    std::atomic<bool> go{false};
+    auto racer = [&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      auto rep = catch_dangling([&] { heap.free(p); });
+      if (rep.has_value()) {
+        EXPECT_EQ(rep->kind, AccessKind::kFree);
+        reports.fetch_add(1);
+      }
+    };
+    std::thread t1(racer), t2(racer);
+    go.store(true, std::memory_order_release);
+    t1.join();
+    t2.join();
+    // The kLive->kFreed CAS admits exactly one winner; the loser reports.
+    EXPECT_EQ(reports.load(), 1) << "round " << round;
+  }
+  EXPECT_EQ(heap.stats().double_frees, static_cast<std::uint64_t>(kRounds));
+  heap.flush_all();
+  EXPECT_EQ(heap.stats().revoked_spans, static_cast<std::uint64_t>(kRounds));
+}
+
+// TSan target: four threads hammer the heap while handing half their frees
+// to a sibling thread. Checks the MPSC remote list drains completely and no
+// free is lost, under concurrent allocation on every shard.
+TEST(ShardedHeap, RemoteQueueDrainsUnderConcurrentChurn) {
+  vm::PhysArena arena;
+  DegradationGovernor gov;
+  GuardConfig cfg;
+  cfg.governor = &gov;
+  cfg.magazine_slots = 32;
+  cfg.protect_batch = 16;
+  ShardedHeap heap(arena, cfg, 4);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  std::vector<std::vector<void*>> handoff(kThreads);
+  for (auto& v : handoff) v.resize(kIters, nullptr);
+  std::vector<std::atomic<int>> published(kThreads);
+  for (auto& c : published) c.store(0);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      FaultManager::ensure_altstack();
+      const int sibling = (t + 1) % kThreads;
+      int consumed = 0;
+      for (int i = 0; i < kIters; ++i) {
+        void* p = heap.malloc(64 + (i % 7) * 256);
+        ASSERT_NE(p, nullptr);
+        std::memset(p, t, 64);
+        if ((i & 1) != 0) {
+          heap.free(p);
+        } else {
+          handoff[t][i] = p;
+          published[t].store(i + 1, std::memory_order_release);
+        }
+        // Consume whatever the sibling has published so far. Consumed slots
+        // are nulled (single consumer per producer) so the post-join sweep
+        // below can free what this thread never got to.
+        const int avail = published[sibling].load(std::memory_order_acquire);
+        for (; consumed < avail; ++consumed) {
+          if (void* q = handoff[sibling][consumed]) {
+            handoff[sibling][consumed] = nullptr;
+            heap.free(q);  // cross-thread: owner is the sibling's home shard
+          }
+        }
+      }
+      const int avail = published[sibling].load(std::memory_order_acquire);
+      for (; consumed < avail; ++consumed) {
+        if (void* q = handoff[sibling][consumed]) {
+          handoff[sibling][consumed] = nullptr;
+          heap.free(q);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // A producer can publish after its consumer's final drain; join ordered
+  // those writes before these reads, so the leftovers are freed here.
+  for (auto& v : handoff) {
+    for (void*& q : v) {
+      if (q != nullptr) heap.free(q);
+    }
+  }
+
+  heap.flush_all();
+  const GuardStats s = heap.stats();
+  EXPECT_EQ(s.allocations, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(s.frees, s.allocations) << "every allocation was freed";
+  EXPECT_EQ(s.double_frees, 0u);
+  EXPECT_EQ(s.invalid_frees, 0u);
+  EXPECT_EQ(s.guard_failures, 0u);
+  EXPECT_EQ(s.revoked_spans, s.frees) << "no revocation was lost";
+  for (std::size_t i = 0; i < heap.shards(); ++i) {
+    EXPECT_EQ(heap.engine(i).remote_pending(), 0u);
+    EXPECT_EQ(heap.engine(i).pending_revocations(), 0u);
+  }
+}
+
+// The batching window is real but bounded: a freed-not-yet-flushed object
+// reads stale data undetected (documented trade), a double free is caught
+// immediately, and the flush closes the window. protect_batch=0 shrinks the
+// window to zero (the paper's immediate mode).
+TEST(BatchedRevocation, WindowSemanticsMidBatchAndPostFlush) {
+  vm::PhysArena arena;
+  DegradationGovernor gov;
+  GuardConfig cfg;
+  cfg.governor = &gov;
+  cfg.protect_batch = 1024;  // nothing flushes on its own in this test
+  GuardedHeap heap(arena, cfg);
+
+  char* p = static_cast<char*>(heap.malloc(64));
+  p[0] = 'a';
+  heap.free(p);
+  EXPECT_EQ(heap.engine().pending_revocations(), 1u);
+
+  // Mid-batch: the span is still readable (bounded detection delay)...
+  auto rep = catch_dangling([&] {
+    volatile char c = *p;
+    (void)c;
+  });
+  EXPECT_FALSE(rep.has_value()) << "mid-batch reads are the documented window";
+  // ...but the canonical block was NOT handed back to the allocator, so the
+  // stale read above saw stale-but-unreused memory, never a new owner's data.
+
+  // Double free mid-batch: exact, via the record state.
+  rep = catch_dangling([&] { heap.free(p); });
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->kind, AccessKind::kFree);
+
+  heap.engine().flush_protections();
+  rep = catch_dangling([&] {
+    volatile char c = *p;
+    (void)c;
+  });
+  ASSERT_TRUE(rep.has_value()) << "flush closes the window";
+  EXPECT_EQ(rep->kind, AccessKind::kRead);
+
+  // Immediate mode: batch disabled, the free itself revokes.
+  GuardConfig imm;
+  imm.governor = &gov;
+  GuardedHeap heap2(arena, imm);
+  char* q = static_cast<char*>(heap2.malloc(64));
+  heap2.free(q);
+  rep = catch_dangling([&] {
+    volatile char c = *q;
+    (void)c;
+  });
+  ASSERT_TRUE(rep.has_value()) << "protect_batch=0 keeps detection immediate";
+}
+
+// A batch in flight when the governor demotes to quarantine-only: the queued
+// revocations still land (no false positives on live objects, the freed span
+// still traps after flush), and a double free of the queued object stays
+// exact. This is the degradation-ladder interaction the revocation queue
+// must not break.
+TEST(BatchedRevocation, SurvivesGovernorDemotionMidBatch) {
+  vm::PhysArena arena;
+  DegradationGovernor gov;
+  GuardConfig cfg;
+  cfg.governor = &gov;
+  cfg.protect_batch = 256;
+  cfg.magazine_slots = 32;
+  ShardedHeap heap(arena, cfg, 2);
+
+  char* freed = static_cast<char*>(heap.malloc(256));
+  char* live = static_cast<char*>(heap.malloc(256));
+  heap.free(freed);  // queued, not yet protected
+
+  gov.force_mode(GuardMode::kQuarantineOnly);
+
+  // New allocations are degraded (canonical pointers) but must still work.
+  char* degraded = static_cast<char*>(heap.malloc(256));
+  ASSERT_NE(degraded, nullptr);
+  auto rep = catch_dangling([&] {
+    live[0] = 'l';
+    degraded[0] = 'd';
+  });
+  EXPECT_FALSE(rep.has_value()) << "no false positive on live objects";
+
+  rep = catch_dangling([&] { heap.free(freed); });
+  ASSERT_TRUE(rep.has_value()) << "double free stays exact mid-demotion";
+  EXPECT_EQ(rep->kind, AccessKind::kFree);
+
+  heap.flush_all();
+  rep = catch_dangling([&] {
+    volatile char c = *freed;
+    (void)c;
+  });
+  ASSERT_TRUE(rep.has_value()) << "queued revocation landed despite demotion";
+
+  // Degraded pointers take the degraded free path (registry miss) — no
+  // invalid-free report, and the quarantine parks the block.
+  rep = catch_dangling([&] { heap.free(degraded); });
+  EXPECT_FALSE(rep.has_value());
+  const GuardStats s = heap.stats();
+  EXPECT_EQ(s.invalid_frees, 0u);
+  EXPECT_GE(s.quarantined_frees, 1u);
+
+  gov.force_mode(GuardMode::kFullGuard);
+  rep = catch_dangling([&] {
+    live[0] = 'm';
+  });
+  EXPECT_FALSE(rep.has_value());
+  heap.free(live);
+}
+
+// Magazines: allocations carve shadow pages from bulk-aliased windows, and
+// detection is byte-for-byte identical to the per-object path — across
+// generation retirement and canonical reuse.
+TEST(Magazines, DetectionAcrossGenerationsAndReuse) {
+  vm::PhysArena arena;
+  DegradationGovernor gov;
+  GuardConfig cfg;
+  cfg.governor = &gov;
+  cfg.magazine_slots = 16;  // small window: exercises retirement quickly
+  GuardedHeap heap(arena, cfg);  // no batching: frees revoke immediately
+
+  constexpr int kRounds = 6;
+  constexpr int kPerRound = 12;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<char*> ptrs;
+    for (int i = 0; i < kPerRound; ++i) {
+      char* p = static_cast<char*>(heap.malloc(4096));
+      ASSERT_NE(p, nullptr);
+      std::memset(p, round, 4096);
+      ptrs.push_back(p);
+    }
+    for (char* p : ptrs) {
+      heap.free(p);
+      auto rep = catch_dangling([&] {
+        volatile char c = *p;
+        (void)c;
+      });
+      ASSERT_TRUE(rep.has_value())
+          << "magazine-carved span must trap immediately after free";
+      EXPECT_EQ(rep->object_base, vm::addr(p));
+    }
+  }
+  const GuardStats s = heap.stats();
+  EXPECT_GT(s.magazine_hits, 0u) << "the magazine path was exercised";
+  EXPECT_GT(s.magazine_maps, 0u);
+  EXPECT_EQ(s.frees, s.revoked_spans);
+  EXPECT_EQ(s.guard_failures, 0u);
+}
+
+TEST(Magazines, SlotsRecycledOnRetirement) {
+  vm::PhysArena arena;
+  DegradationGovernor gov;
+  GuardConfig cfg;
+  cfg.governor = &gov;
+  cfg.magazine_slots = 16;
+  {
+    GuardedHeap heap(arena, cfg);
+    // Force collisions: churn page-sized objects so canonical pages recycle
+    // into partially-claimed generations, which then retire.
+    for (int i = 0; i < 200; ++i) {
+      void* p = heap.malloc(4096);
+      ASSERT_NE(p, nullptr);
+      heap.free(p);
+    }
+    const GuardStats s = heap.stats();
+    EXPECT_GT(s.magazine_slots_recycled, 0u)
+        << "retired generations recycle their never-claimed slots";
+    EXPECT_EQ(s.frees, s.revoked_spans);
+  }  // teardown with magazines live: release_all must drop them cleanly
+}
+
+TEST(ShardedHeap, ReallocAndCallocRouteAcrossShards) {
+  vm::PhysArena arena;
+  DegradationGovernor gov;
+  GuardConfig cfg;
+  cfg.governor = &gov;
+  cfg.magazine_slots = 32;
+  ShardedHeap heap(arena, cfg, 2);
+
+  char* p = static_cast<char*>(heap.calloc(4, 64));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(p[i], 0) << "calloc zeroes";
+  std::memset(p, 7, 256);
+
+  // realloc from another thread: the whole call routes to the owner shard.
+  char* grown = nullptr;
+  std::thread t([&] { grown = static_cast<char*>(heap.realloc(p, 1024)); });
+  t.join();
+  ASSERT_NE(grown, nullptr);
+  EXPECT_EQ(grown[255], 7) << "contents moved";
+  heap.flush_all();
+  auto rep = catch_dangling([&] {
+    volatile char c = *p;
+    (void)c;
+  });
+  ASSERT_TRUE(rep.has_value()) << "stale pre-realloc pointer traps";
+  heap.free(grown);
+}
+
+TEST(ShardedHeap, StatsRollupIsCoherentAfterFlush) {
+  vm::PhysArena arena;
+  DegradationGovernor gov;
+  GuardConfig cfg;
+  cfg.governor = &gov;
+  cfg.magazine_slots = 32;
+  cfg.protect_batch = 8;
+  ShardedHeap heap(arena, cfg, 3);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        void* p = heap.malloc(512);
+        ASSERT_NE(p, nullptr);
+        heap.free(p);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  heap.flush_all();
+
+  const GuardStats s = heap.stats();
+  EXPECT_EQ(s.allocations, 300u);
+  EXPECT_EQ(s.frees, 300u);
+  EXPECT_EQ(s.revoked_spans, 300u);
+  EXPECT_EQ(s.protect_calls + s.protect_calls_saved, 300u)
+      << "every free either issued or amortized exactly one mprotect";
+}
+
+}  // namespace
+}  // namespace dpg::core
