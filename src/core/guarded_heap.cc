@@ -860,6 +860,23 @@ void ShadowEngine::reclaim(ObjectRecord* rec) {
   release_record_locked(rec, /*recycle_va=*/true);
 }
 
+const ObjectRecord* ShadowEngine::record_of(const void* p) {
+  if (p == nullptr) return nullptr;
+  const ObjectRecord* rec = ShadowRegistry::global().lookup(vm::addr(p));
+  if (rec == nullptr || rec->user_shadow != vm::addr(p)) return nullptr;
+  return rec;
+}
+
+bool ShadowEngine::revocation_applied(const void* p) const {
+  const ObjectRecord* rec = record_of(p);
+  if (rec == nullptr) return false;
+  // revocation_done is owner-lock-protected; taking mu_ here is only correct
+  // on the owning engine (ShardedHeap routes by owner_shard before calling).
+  std::lock_guard lock(mu_);
+  return rec->state.load(std::memory_order_acquire) == ObjectState::kFreed &&
+         rec->revocation_done;
+}
+
 GuardStats ShadowEngine::stats() const {
   // Under the engine lock every writer is quiesced, so this snapshot is a
   // fully consistent cut (see the contract in stats.h) — except the lock-free

@@ -196,6 +196,23 @@ class ShadowEngine {
   }
   [[nodiscard]] std::size_t pending_revocations() const;
 
+  // --- oracle introspection (src/fuzz, tests) ---
+  // Resolves a pointer previously returned by malloc to its record, or
+  // nullptr for degraded/unguarded/foreign pointers. Interior pointers
+  // resolve to nullptr too: the fuzzer uses this to learn whether an
+  // allocation ended up guarded, so only exact user pointers count.
+  [[nodiscard]] static const ObjectRecord* record_of(const void* p);
+  // True when `p` is a freed guarded object whose free has been fully
+  // processed by the owner engine — revocation attempted, canonical block
+  // returned or quarantined. While mprotect is not being fault-injected
+  // this is exactly "the span is PROT_NONE: a dereference MUST trap";
+  // false means the free still sits in the revocation queue or on a remote
+  // list, the documented bounded window where a stale (unreused) read is
+  // legal. Under an armed mprotect fault plan a refused revocation also
+  // reports true with the canonical block parked in quarantine, so the
+  // stale read then sees unreused bytes instead of trapping.
+  [[nodiscard]] bool revocation_applied(const void* p) const;
+
  private:
   // One magazine generation: a bulk alias of a whole canonical window. Slots
   // are claimed (bit set) once and never reused within the generation; the

@@ -108,6 +108,12 @@ void* ShardedHeap::realloc(void* p, std::size_t new_size, SiteId site) {
   return engines_[idx]->realloc(p, new_size, site);
 }
 
+bool ShardedHeap::revocation_applied(const void* p) const {
+  const ObjectRecord* rec = record_of(p);
+  if (rec == nullptr) return false;
+  return engines_[rec->owner_shard]->revocation_applied(p);
+}
+
 std::size_t ShardedHeap::size_of(const void* p) const {
   // The registry is global, so any engine resolves any guarded pointer.
   return engines_[0]->size_of(p);

@@ -84,6 +84,14 @@ class ShardedHeap {
     return shadow_va_;
   }
 
+  // Oracle introspection (src/fuzz): same contracts as the ShadowEngine
+  // hooks; revocation_applied routes to the record's owner engine so the
+  // owner-lock-protected revocation_done flag is read correctly.
+  [[nodiscard]] static const ObjectRecord* record_of(const void* p) {
+    return ShadowEngine::record_of(p);
+  }
+  [[nodiscard]] bool revocation_applied(const void* p) const;
+
  private:
   [[nodiscard]] std::uint32_t home_shard() const noexcept;
 

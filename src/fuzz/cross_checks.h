@@ -1,0 +1,38 @@
+// Cross-stack checks tying the fuzzer to the other detection layers.
+//
+// static_cross_check — the analyzer/runtime agreement contract behind guard
+// elision: lower a static-compatible trace to straight-line PIR, run the UAF
+// analysis over it, execute the same trace on a GuardedHeap with the PIR site
+// ids, and require (a) every planted temporal bug's alloc site classified
+// UNSAFE with at least one runtime report naming it, (b) every clean object's
+// alloc site classified SAFE, and (c) no runtime report ever naming a
+// SAFE site — the property that makes eliding guards at SAFE sites sound.
+//
+// baseline_cross_check — the same trace against the baseline policies:
+// EfenceAllocator (per-object pages, PROT_NONE at free, never reused: every
+// dangling use must trap, a re-free must report) and MemcheckContext (shadow
+// bitmap + quarantine: checks on freed memory must report while the block
+// sits in quarantine). Divergences mean the Table 2 comparison is measuring
+// tools that do not do what the paper says they do.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "fuzz/harness.h"
+
+namespace dpg::fuzz {
+
+[[nodiscard]] std::vector<Divergence> static_cross_check(std::uint64_t seed,
+                                                         std::size_t n_ops,
+                                                         std::ostream* log =
+                                                             nullptr);
+
+[[nodiscard]] std::vector<Divergence> baseline_cross_check(std::uint64_t seed,
+                                                           std::size_t n_ops,
+                                                           std::ostream* log =
+                                                               nullptr);
+
+}  // namespace dpg::fuzz

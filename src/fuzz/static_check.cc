@@ -1,0 +1,222 @@
+#include <cstring>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "compiler/parser.h"
+#include "compiler/points_to.h"
+#include "compiler/uaf_analysis.h"
+#include "core/fault_manager.h"
+#include "core/guarded_heap.h"
+#include "fuzz/cross_checks.h"
+#include "fuzz/oracle.h"
+
+namespace dpg::fuzz {
+
+namespace {
+
+// Mirror of the executor's state-directed interpretation, restricted to the
+// static-compatible op subset: which ops run, and which are temporal bugs.
+enum class SPhase { kUnknown, kLive, kFreed };
+
+struct SObj {
+  SPhase phase = SPhase::kUnknown;
+  std::uint32_t alloc_site = 0;  // PIR site id of the malloc
+  bool planted = false;          // a bug op executed against this object
+};
+
+}  // namespace
+
+std::vector<Divergence> static_cross_check(std::uint64_t seed,
+                                           std::size_t n_ops,
+                                           std::ostream* log) {
+  std::vector<Divergence> out;
+  auto diverge = [&](std::size_t idx, const std::string& detail) {
+    out.push_back(Divergence{idx, detail});
+  };
+
+  GenParams params;
+  params.static_compatible = true;
+  params.n_ops = n_ops;
+  const Trace trace = generate(seed, params);
+
+  // ---- lower to straight-line PIR, tracking the parser's site numbering:
+  // sites start at 1 and are handed out to malloc/free in program order.
+  std::ostringstream pir;
+  pir << "func main() {\n";
+  std::uint32_t next_site = 1;
+  std::uint32_t next_tmp = 1;
+  std::map<std::uint32_t, SObj> objs;  // ordered: deterministic reporting
+  // Ops actually lowered (and thus worth replaying at runtime): index pairs
+  // of (trace index, op). Skipped ops (unknown object) stay skipped.
+  std::vector<std::pair<std::size_t, Op>> lowered;
+
+  for (std::size_t idx = 0; idx < trace.ops.size(); ++idx) {
+    const Op& op = trace.ops[idx];
+    const std::string reg = "o" + std::to_string(op.obj);
+    const auto it = objs.find(op.obj);
+    const bool known = it != objs.end() && it->second.phase != SPhase::kUnknown;
+    switch (op.kind) {
+      case OpKind::kMalloc: {
+        if (it != objs.end()) continue;  // duplicate id: not lowered
+        pir << "  " << reg << " = malloc 2\n";
+        SObj o;
+        o.phase = SPhase::kLive;
+        o.alloc_site = next_site++;
+        objs[op.obj] = o;
+        lowered.emplace_back(idx, op);
+        break;
+      }
+      case OpKind::kFree:
+      case OpKind::kDoubleFree: {
+        if (!known) continue;
+        pir << "  free " << reg << "\n";
+        next_site++;
+        if (it->second.phase == SPhase::kFreed) it->second.planted = true;
+        it->second.phase = SPhase::kFreed;
+        lowered.emplace_back(idx, op);
+        break;
+      }
+      case OpKind::kRead:
+      case OpKind::kUafRead: {
+        if (!known) continue;
+        pir << "  t" << next_tmp++ << " = getfield " << reg << ", 0\n";
+        if (it->second.phase == SPhase::kFreed) it->second.planted = true;
+        lowered.emplace_back(idx, op);
+        break;
+      }
+      case OpKind::kWrite:
+      case OpKind::kUafWrite: {
+        if (!known) continue;
+        // Fresh const register per store: sharing one would unify every
+        // object's field node through it and smear UNSAFE across the module.
+        pir << "  c" << next_tmp << " = const " << (op.obj % 97) << "\n";
+        pir << "  setfield " << reg << ", 1, c" << next_tmp << "\n";
+        ++next_tmp;
+        if (it->second.phase == SPhase::kFreed) it->second.planted = true;
+        lowered.emplace_back(idx, op);
+        break;
+      }
+      default:
+        // generate(static_compatible) emits no other kinds; a hand-edited
+        // trace's extras are simply not part of the contract.
+        continue;
+    }
+  }
+  pir << "  ret\n}\n";
+
+  // ---- static verdicts.
+  const compiler::Module module = compiler::parse_module(pir.str());
+  const compiler::PointsToAnalysis pta(module);
+  const compiler::UafAnalysis analysis(module, pta);
+
+  std::set<std::uint32_t> safe_alloc_sites;
+  for (const auto& [id, o] : objs) {
+    const bool safe = analysis.site_safe(o.alloc_site);
+    if (o.planted && safe) {
+      diverge(static_cast<std::size_t>(-1),
+              "static: obj " + std::to_string(id) + " (site " +
+                  std::to_string(o.alloc_site) +
+                  ") has a planted temporal bug but classifies SAFE");
+    }
+    if (!o.planted && !safe) {
+      diverge(static_cast<std::size_t>(-1),
+              "static: clean obj " + std::to_string(id) + " (site " +
+                  std::to_string(o.alloc_site) + ") classifies UNSAFE");
+    }
+    if (safe) safe_alloc_sites.insert(o.alloc_site);
+  }
+
+  // ---- runtime half: same ops, same site ids, exact single-engine config
+  // (immediate revocation), so every planted bug must report at its site.
+  {
+    vm::PhysArena arena;
+    core::DegradationGovernor gov;  // private: keep the process ladder out
+    core::GuardConfig cfg;
+    cfg.governor = &gov;
+    core::GuardedHeap heap(arena, cfg);
+
+    std::unordered_map<std::uint32_t, std::pair<void*, std::uint32_t>> rt;
+    std::map<std::uint32_t, std::uint64_t> reports_at_site;
+
+    for (const auto& [idx, op] : lowered) {
+      const auto oit = objs.find(op.obj);
+      const std::uint32_t site = oit->second.alloc_site;
+      std::optional<core::DanglingReport> rep;
+      switch (op.kind) {
+        case OpKind::kMalloc: {
+          void* p = nullptr;
+          rep = core::catch_dangling([&] {
+            p = heap.malloc(op.size, site);
+            if (p != nullptr) {
+              std::memset(p, Oracle::base_fill(op.obj), op.size);
+            }
+          });
+          if (p == nullptr && !rep.has_value()) {
+            diverge(idx, "static-rt: malloc returned nullptr");
+            continue;
+          }
+          rt[op.obj] = {p, op.size};
+          break;
+        }
+        case OpKind::kFree:
+        case OpKind::kDoubleFree:
+          rep = core::catch_dangling([&] { heap.free(rt.at(op.obj).first, site); });
+          break;
+        case OpKind::kRead:
+        case OpKind::kUafRead:
+          rep = core::catch_dangling([&] {
+            (void)*reinterpret_cast<volatile unsigned char*>(
+                rt.at(op.obj).first);
+          });
+          break;
+        case OpKind::kWrite:
+        case OpKind::kUafWrite:
+          rep = core::catch_dangling([&] {
+            auto& [p, size] = rt.at(op.obj);
+            const std::uint32_t off = size != 0 ? op.offset % size : 0;
+            volatile unsigned char* b =
+                reinterpret_cast<volatile unsigned char*>(p) + off;
+            *b = *b;  // store of the resident byte: value model unperturbed
+          });
+          break;
+        default:
+          continue;
+      }
+      if (rep.has_value()) {
+        const std::uint32_t named =
+            rep->alloc_site != 0 ? rep->alloc_site : site;
+        ++reports_at_site[named];
+        if (safe_alloc_sites.count(named) != 0) {
+          diverge(idx, "static-rt: runtime report at SAFE site " +
+                           std::to_string(named) + " (" + op_name(op.kind) +
+                           " obj " + std::to_string(op.obj) +
+                           ") — guard elision would have missed a real bug");
+        }
+      }
+    }
+
+    for (const auto& [id, o] : objs) {
+      if (o.planted && reports_at_site[o.alloc_site] == 0) {
+        diverge(static_cast<std::size_t>(-1),
+                "static-rt: planted bug on obj " + std::to_string(id) +
+                    " (site " + std::to_string(o.alloc_site) +
+                    ") produced no runtime report");
+      }
+    }
+  }
+
+  if (log != nullptr) {
+    *log << "[static-check] seed=" << seed << " lowered=" << lowered.size()
+         << "/" << trace.ops.size() << " objects=" << objs.size()
+         << " findings=" << analysis.findings().size()
+         << " divergences=" << out.size() << "\n";
+    for (const Divergence& d : out) *log << "  " << d.detail << "\n";
+  }
+  return out;
+}
+
+}  // namespace dpg::fuzz

@@ -19,9 +19,15 @@
 
 namespace dpg::vm {
 
+// GCC warns on any use of hardware_destructive_interference_size because its
+// value is ABI-affecting under mixed -mtune flags; here it only pads private
+// counters, so the portability concern doesn't apply.
 #ifdef __cpp_lib_hardware_interference_size
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
 inline constexpr std::size_t kCacheLine =
     std::hardware_destructive_interference_size;
+#pragma GCC diagnostic pop
 #else
 inline constexpr std::size_t kCacheLine = 64;
 #endif

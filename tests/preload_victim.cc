@@ -8,6 +8,20 @@
 //   preload_victim uaf-w    write through a dangling pointer
 //   preload_victim df       double free
 //   preload_victim stale-realloc   use the pre-realloc pointer
+//
+// Exit codes (each scenario outcome is distinct so the harness can tell
+// *which* bug slipped through, not merely that one did):
+//    0  scenario completed as intended (clean/churn ok)
+//    2  unknown mode on the command line
+//    3  clean: calloc memory was not zeroed
+//    4  churn: malloc returned nullptr
+//   10  uaf: dangling read went undetected
+//   11  uaf-w: dangling write went undetected
+//   12  df: double free went undetected
+//   13  stale-realloc: stale pre-realloc alias read went undetected
+//   14  stale-realloc: realloc did not move the block (inconclusive)
+// Under the preload the bug modes never reach their exit — the guard aborts
+// the process first (SIGABRT), which is what the tests assert.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -92,7 +106,7 @@ int run_uaf(bool write) {
     (void)c;
   }
   std::printf("BUG NOT DETECTED\n");
-  return 7;
+  return write ? 11 : 10;
 }
 
 int run_df() {
@@ -100,7 +114,7 @@ int run_df() {
   std::free(p);
   std::free(launder_ptr(p));  // double free
   std::printf("BUG NOT DETECTED\n");
-  return 7;
+  return 12;
 }
 
 int run_stale_realloc() {
@@ -111,11 +125,11 @@ int run_stale_realloc() {
     volatile char c = launder_ptr(p)[0];  // stale pre-realloc alias
     (void)c;
     std::printf("BUG NOT DETECTED\n");
-    return 7;
+    return 13;
   }
   std::free(q);
   std::printf("realloc did not move; inconclusive\n");
-  return 0;
+  return 14;
 }
 
 }  // namespace

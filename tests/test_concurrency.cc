@@ -10,6 +10,7 @@
 #include "core/fault_manager.h"
 #include "core/guarded_heap.h"
 #include "core/guarded_pool.h"
+#include "test_seed.h"
 #include "workloads/common.h"
 
 namespace dpg::core {
@@ -21,11 +22,13 @@ TEST(Concurrency, ParallelAllocFreeChurn) {
   vm::PhysArena arena(1u << 30);
   GuardedHeap heap(arena, {.freed_va_budget = 16u << 20});
   std::atomic<bool> failed{false};
+  const std::uint64_t seed0 = dpg::testing::dpg_test_seed(1);
+  DPG_SEED_TRACE(seed0);
 
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&heap, &failed, t] {
-      workloads::Rng rng(static_cast<std::uint64_t>(t) + 1);
+    threads.emplace_back([&heap, &failed, seed0, t] {
+      workloads::Rng rng(seed0 + static_cast<std::uint64_t>(t));
       std::vector<std::pair<unsigned char*, unsigned char>> live;
       for (int round = 0; round < 800; ++round) {
         if (live.size() < 20 || rng.below(2) == 0) {
@@ -92,8 +95,10 @@ TEST(Concurrency, RegistryLookupsRaceWithMutation) {
   anchor.span_length = vm::kPageSize;
   reg.insert(anchor);
 
+  const std::uint64_t writer_seed = dpg::testing::dpg_test_seed(7);
+  DPG_SEED_TRACE(writer_seed);
   std::thread writer([&] {
-    workloads::Rng rng(7);
+    workloads::Rng rng(writer_seed);
     std::vector<std::unique_ptr<ObjectRecord>> live;
     for (int round = 0; round < 20000; ++round) {
       if (live.size() < 100 || rng.below(2) == 0) {

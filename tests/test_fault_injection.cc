@@ -12,6 +12,8 @@
 #include <cerrno>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <vector>
 
 #include "core/degrade.h"
 #include "core/fault_manager.h"
@@ -206,6 +208,72 @@ TEST_F(FaultInjectionTest, MprotectRefusalQuarantinesButKeepsDoubleFreeExact) {
   const auto report = catch_dangling([&] { heap.free(p); });
   ASSERT_TRUE(report.has_value());
   EXPECT_EQ(report->kind, AccessKind::kFree);
+}
+
+TEST_F(FaultInjectionTest, MidBatchDemotionQuarantinesQueuedRevocations) {
+  // The degradation-ladder x batched-revocation corner: frees sitting in the
+  // revocation queue when the governor demotes must land in quarantine, never
+  // be revoked-then-reused. A queued free has NOT protected its shadow span
+  // yet, so recycling its canonical block would leak the next owner's bytes
+  // through the stale alias — the one interleaving where batching could
+  // silently weaken the ladder's "suspended, never falsified" contract.
+  DegradationGovernor gov;
+  vm::PhysArena arena(1u << 24);
+  GuardedHeap heap(arena, {.protect_batch = 8, .governor = &gov});
+
+  constexpr int kObjs = 4;  // strictly mid-batch: 4 queued frees < batch of 8
+  constexpr std::size_t kSize = 96;
+  char* objs[kObjs];
+  for (int i = 0; i < kObjs; ++i) {
+    objs[i] = static_cast<char*>(heap.malloc(kSize));
+    std::memset(objs[i], 'A' + i, kSize);
+  }
+  for (char* p : objs) heap.free(p);
+  ASSERT_GE(heap.engine().pending_revocations(),
+            static_cast<std::size_t>(kObjs));
+
+  // The kernel refuses mprotect exactly when the queue drains: the batched
+  // call and every per-record fallback fail, and the governor demotes.
+  ASSERT_TRUE(vm::sys::set_fault_plan("mprotect:errno=EACCES"));
+  EXPECT_NO_THROW(heap.engine().flush_protections());
+  vm::sys::clear_fault_plan();
+  EXPECT_EQ(heap.engine().pending_revocations(), 0u);
+  EXPECT_GE(heap.stats().guard_failures, static_cast<std::uint64_t>(kObjs));
+  // One rung down per failed merged run: adjacent spans coalesce to one run
+  // (quarantine-only), a scattered layout to several (unguarded). Either way
+  // the ladder left full guarding — the quarantine contract below is the
+  // same on both rungs.
+  EXPECT_NE(gov.mode(), GuardMode::kFullGuard);
+
+  // Same-size churn in the demoted mode: if any parked canonical block were
+  // recycled, one of these fills would shine through a stale alias below.
+  std::vector<char*> churn;
+  for (int i = 0; i < 64; ++i) {
+    auto* p = static_cast<char*>(heap.malloc(kSize));
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 'z', kSize);
+    churn.push_back(p);
+  }
+
+  // Every queued-then-demoted pointer reads its own fill or traps — it never
+  // observes another owner's bytes.
+  for (int i = 0; i < kObjs; ++i) {
+    char* p = objs[i];
+    char v = 0;
+    const auto report = catch_dangling([&] { v = *launder_ptr(p); });
+    if (!report.has_value()) {
+      EXPECT_EQ(v, static_cast<char>('A' + i))
+          << "object " << i << " was reused while its alias stayed readable";
+    }
+  }
+
+  // The records stayed registered, so a second free is still an exact
+  // double-free report — mid-batch demotion suspended revocation only.
+  const auto report = catch_dangling([&] { heap.free(launder_ptr(objs[0])); });
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->kind, AccessKind::kFree);
+
+  for (char* p : churn) heap.free(p);
 }
 
 TEST_F(FaultInjectionTest, LadderWalksToUnguardedUnderPersistentRefusal) {

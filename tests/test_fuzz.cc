@@ -1,0 +1,206 @@
+// Fuzz-infrastructure suite (ctest label: fuzz): the trace language, the
+// .dpgf replay format, clean in-process matrix runs, and — via the dpg_fuzz
+// binary — the full known-bad workflow: a deliberately broken oracle must
+// diverge, shrink to a minimal trace, and reproduce from the written replay
+// file in one command. The smoke sweep itself runs as the separate
+// `fuzz_smoke` ctest entry (dpg_fuzz --smoke).
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/cross_checks.h"
+#include "fuzz/harness.h"
+#include "test_seed.h"
+
+#ifndef DPG_FUZZ_BIN
+#error "DPG_FUZZ_BIN must be defined by the build"
+#endif
+
+namespace dpg::fuzz {
+namespace {
+
+TEST(FuzzTrace, GeneratorIsDeterministic) {
+  GenParams params;
+  params.n_ops = 500;
+  params.pools = true;
+  const std::uint64_t seed = dpg::testing::dpg_test_seed(42);
+  DPG_SEED_TRACE(seed);
+  const Trace a = generate(seed, params);
+  const Trace b = generate(seed, params);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ops.size(), 500u);
+  // A different seed must actually change the program.
+  const Trace c = generate(seed + 1, params);
+  EXPECT_NE(a, c);
+}
+
+TEST(FuzzTrace, GeneratorCoversTheOpAlphabet) {
+  GenParams params;
+  params.n_ops = 4000;
+  params.pools = true;
+  const std::uint64_t seed = dpg::testing::dpg_test_seed(3);
+  DPG_SEED_TRACE(seed);
+  const Trace t = generate(seed, params);
+  std::array<std::size_t, 12> hist{};
+  for (const Op& op : t.ops) ++hist[static_cast<std::size_t>(op.kind)];
+  for (const OpKind k :
+       {OpKind::kMalloc, OpKind::kFree, OpKind::kRead, OpKind::kWrite,
+        OpKind::kRealloc, OpKind::kFlush, OpKind::kUafRead, OpKind::kUafWrite,
+        OpKind::kDoubleFree, OpKind::kInvalidFree, OpKind::kPoolCreate,
+        OpKind::kPoolDestroy}) {
+    EXPECT_GT(hist[static_cast<std::size_t>(k)], 0u) << op_name(k);
+  }
+}
+
+TEST(FuzzTrace, StaticSubsetStaysInTheStaticAlphabet) {
+  GenParams params;
+  params.n_ops = 1000;
+  params.static_compatible = true;
+  const Trace t = generate(dpg::testing::dpg_test_seed(9), params);
+  for (const Op& op : t.ops) {
+    EXPECT_TRUE(op.kind == OpKind::kMalloc || op.kind == OpKind::kFree ||
+                op.kind == OpKind::kRead || op.kind == OpKind::kWrite ||
+                op.kind == OpKind::kUafRead || op.kind == OpKind::kUafWrite ||
+                op.kind == OpKind::kDoubleFree)
+        << op_name(op.kind);
+    EXPECT_EQ(op.thread, 0);
+  }
+}
+
+TEST(FuzzTrace, ReplayRoundTripIsByteIdentical) {
+  FuzzConfig cfg;
+  cfg.name = "batch16-1shard";
+  cfg.protect_batch = 16;
+  cfg.gen.n_ops = 200;
+  const Trace t = generate(dpg::testing::dpg_test_seed(7), cfg.gen);
+  const std::string text = to_replay(cfg, t);
+
+  FuzzConfig cfg2;
+  Trace t2;
+  std::string err;
+  ASSERT_TRUE(from_replay(text, &cfg2, &t2, &err)) << err;
+  // Generator params are deliberately NOT serialized — the op list is the
+  // program; a replay must not depend on re-generation.
+  cfg2.gen = cfg.gen;
+  EXPECT_EQ(cfg, cfg2);
+  EXPECT_EQ(t, t2);
+  EXPECT_EQ(to_replay(cfg2, t2), text);
+}
+
+TEST(FuzzTrace, ReplayParserRejectsMalformedInput) {
+  FuzzConfig cfg;
+  Trace t;
+  std::string err;
+  EXPECT_FALSE(from_replay("", &cfg, &t, &err));
+  EXPECT_FALSE(from_replay("not a dpgf file\n", &cfg, &t, &err));
+  const std::string good = to_replay(FuzzConfig{}, generate(1, GenParams{}));
+  EXPECT_FALSE(from_replay(good + "BOGUS LINE\n", &cfg, &t, &err));
+}
+
+// Tiny in-process run of every matrix cell: the differential harness itself
+// must hold on each config (the heavier sweep lives in fuzz_smoke).
+TEST(FuzzHarness, EveryMatrixCellRunsClean) {
+  const std::uint64_t seed = dpg::testing::dpg_test_seed(11);
+  DPG_SEED_TRACE(seed);
+  for (const FuzzConfig& cfg : matrix(300)) {
+    const Trace trace = generate(seed, cfg.gen);
+    const RunResult res = run_trace(cfg, trace, nullptr);
+    EXPECT_TRUE(res.ok()) << cfg.name << ": " << [&] {
+      std::string all;
+      for (const Divergence& d : res.divergences) all += d.detail + "\n";
+      return all;
+    }();
+    EXPECT_GT(res.executed, 0u) << cfg.name;
+  }
+}
+
+TEST(FuzzCrossChecks, BaselinesAgreeWithTheTraceModel) {
+  const std::uint64_t seed = dpg::testing::dpg_test_seed(21);
+  DPG_SEED_TRACE(seed);
+  const auto div = baseline_cross_check(seed, 300);
+  EXPECT_TRUE(div.empty()) << div.front().detail;
+}
+
+TEST(FuzzCrossChecks, StaticAnalyzerAgreesWithTheRuntime) {
+  const std::uint64_t seed = dpg::testing::dpg_test_seed(22);
+  DPG_SEED_TRACE(seed);
+  const auto div = static_cross_check(seed, 200);
+  EXPECT_TRUE(div.empty()) << div.front().detail;
+}
+
+// --- the known-bad demo, end to end through the CLI ------------------------
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(DPG_FUZZ_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  CliResult r;
+  if (pipe == nullptr) return r;
+  std::array<char, 512> buf;
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) r.output += buf.data();
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+TEST(FuzzCli, OracleBugShrinksToReplayThatReproduces) {
+  char path_tmpl[] = "/tmp/dpg_fuzz_XXXXXX";
+  const int fd = mkstemp(path_tmpl);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  const std::string out = path_tmpl;
+
+  // The deliberately broken oracle predicts queued revocations as already
+  // applied: on a batched config an in-window UAF read diverges. Exit 2 =
+  // divergence found, shrunk, replay written, seed printed.
+  const CliResult found = run_cli(
+      "--config batch16-1shard --oracle-bug --seeds 20 --ops 800 --out " + out);
+  ASSERT_EQ(found.exit_code, 2) << found.output;
+  EXPECT_NE(found.output.find("DIVERGENCE"), std::string::npos) << found.output;
+  EXPECT_NE(found.output.find("seed="), std::string::npos) << found.output;
+  EXPECT_NE(found.output.find("shrunk to"), std::string::npos) << found.output;
+  EXPECT_NE(found.output.find("reproduce with:"), std::string::npos)
+      << found.output;
+
+  // The shrunken trace must be genuinely minimal for this defect: one malloc,
+  // one free (queued, not yet revoked), one UAF read inside the window.
+  std::ifstream in(out);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  FuzzConfig cfg;
+  Trace small;
+  std::string err;
+  ASSERT_TRUE(from_replay(buf.str(), &cfg, &small, &err)) << err;
+  EXPECT_TRUE(cfg.oracle_bug);
+  EXPECT_LE(small.ops.size(), 4u) << buf.str();
+
+  // One command reproduces it from the file alone.
+  const CliResult replay = run_cli("--replay " + out);
+  EXPECT_EQ(replay.exit_code, 2) << replay.output;
+  EXPECT_NE(replay.output.find("divergence reproduced"), std::string::npos)
+      << replay.output;
+  unlink(path_tmpl);
+}
+
+TEST(FuzzCli, ListConfigsNamesEveryCell) {
+  const CliResult r = run_cli("--list-configs");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  for (const FuzzConfig& cfg : matrix(100)) {
+    EXPECT_NE(r.output.find(cfg.name), std::string::npos) << cfg.name;
+  }
+}
+
+}  // namespace
+}  // namespace dpg::fuzz

@@ -60,10 +60,23 @@ RunResult run_victim(const std::string& mode, bool preload,
 TEST(Preload, VictimIsSaneWithoutPreload) {
   const RunResult r = run_victim("clean", false);
   EXPECT_EQ(r.exit_code, 0) << r.output;
-  // Without the guard, the read-after-free goes undetected (glibc).
+  // Without the guard every planted bug slips through — and each scenario
+  // reports its own documented exit code, so a wrong code here means the
+  // victim ran a different path than the preload tests think they exercise.
   const RunResult uaf = run_victim("uaf", false);
-  EXPECT_EQ(uaf.exit_code, 7) << uaf.output;
+  EXPECT_EQ(uaf.exit_code, 10) << uaf.output;
   EXPECT_NE(uaf.output.find("BUG NOT DETECTED"), std::string::npos);
+  const RunResult uafw = run_victim("uaf-w", false);
+  EXPECT_EQ(uafw.exit_code, 11) << uafw.output;
+  const RunResult df = run_victim("df", false);
+  // glibc may itself abort on the double free; undetected is exit 12.
+  EXPECT_TRUE(df.exit_code == 12 || df.aborted())
+      << df.exit_code << " " << df.output;
+  const RunResult sr = run_victim("stale-realloc", false);
+  EXPECT_TRUE(sr.exit_code == 13 || sr.exit_code == 14)
+      << sr.exit_code << " " << sr.output;
+  const RunResult unknown = run_victim("no-such-mode", false);
+  EXPECT_EQ(unknown.exit_code, 2) << unknown.output;
 }
 
 TEST(Preload, CleanProgramRunsToCompletion) {

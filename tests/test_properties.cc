@@ -14,6 +14,7 @@
 #include "core/fault_manager.h"
 #include "core/guarded_heap.h"
 #include "core/guarded_pool.h"
+#include "test_seed.h"
 #include "workloads/common.h"
 
 namespace dpg::core {
@@ -30,7 +31,9 @@ class GuardedHeapProperties : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(GuardedHeapProperties, RandomScriptMaintainsInvariants) {
   vm::PhysArena arena(1u << 28);
   GuardedHeap heap(arena);
-  workloads::Rng rng(GetParam());
+  const std::uint64_t seed = dpg::testing::dpg_test_seed(GetParam());
+  DPG_SEED_TRACE(seed);
+  workloads::Rng rng(seed);
 
   std::vector<LiveObject> live;
   std::vector<std::pair<unsigned char*, std::size_t>> freed;
@@ -97,7 +100,9 @@ class GuardedPoolProperties : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(GuardedPoolProperties, PoolLifecycleConservesVa) {
   GuardedPoolContext ctx;
-  workloads::Rng rng(GetParam());
+  const std::uint64_t base_seed = dpg::testing::dpg_test_seed(GetParam());
+  DPG_SEED_TRACE(base_seed);
+  workloads::Rng rng(base_seed);
 
   // Warm-up round establishes the steady-state footprint.
   auto run_round = [&](std::uint64_t seed) {
@@ -146,7 +151,9 @@ class RegistryProperties : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RegistryProperties, LookupAgreesWithReferenceMap) {
   ShadowRegistry reg(32);
-  workloads::Rng rng(GetParam());
+  const std::uint64_t seed = dpg::testing::dpg_test_seed(GetParam());
+  DPG_SEED_TRACE(seed);
+  workloads::Rng rng(seed);
   std::map<std::uintptr_t, ObjectRecord*> reference;
   std::vector<std::unique_ptr<ObjectRecord>> storage;
 

@@ -1,0 +1,47 @@
+// Seed plumbing for the randomized suites. Every seeded test derives its RNG
+// seed through dpg_test_seed(n), where n is the test's historical fixed seed:
+//
+//   DPG_TEST_SEED unset   -> seeds are the historical values (byte-stable CI)
+//   DPG_TEST_SEED=K       -> every seed is rebased by K, so one env var
+//                            re-randomizes the whole suite (nightly soak) and
+//                            a failure prints the exact seed to replay with.
+//
+// Replay: DPG_TEST_SEED=<printed base> ctest -R <failing test>.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace dpg::testing {
+
+// The rebase offset from the environment (0 when unset). Read once; the
+// value is printed the first time so soak logs always carry it.
+inline std::uint64_t test_seed_base() {
+  static const std::uint64_t base = [] {
+    const char* env = std::getenv("DPG_TEST_SEED");
+    if (env == nullptr) return std::uint64_t{0};
+    const std::uint64_t v = std::strtoull(env, nullptr, 0);
+    ::testing::Test::RecordProperty("dpg_test_seed", std::to_string(v));
+    std::fprintf(stderr, "[dpg] DPG_TEST_SEED=%llu (seeds rebased)\n",
+                 static_cast<unsigned long long>(v));
+    return v;
+  }();
+  return base;
+}
+
+// Derived seed for a test whose historical fixed seed is `n`.
+inline std::uint64_t dpg_test_seed(std::uint64_t n) {
+  return test_seed_base() + n;
+}
+
+}  // namespace dpg::testing
+
+// Attach the effective seed to every assertion in scope, so a failure names
+// the one number needed to reproduce it.
+#define DPG_SEED_TRACE(seed)                                               \
+  SCOPED_TRACE(::testing::Message()                                        \
+               << "seed=" << (seed)                                        \
+               << " (replay: DPG_TEST_SEED="                               \
+               << ::dpg::testing::test_seed_base() << ")")

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Coverage run over the full test suite (including the fuzz label).
+#
+#   tools/coverage.sh [ctest-args...]
+#
+# Configures + builds the `coverage` preset (gcov-instrumented -O0), runs
+# ctest, then renders whatever report generator the host has:
+#   gcovr     -> text summary + build-coverage/coverage.html
+#   lcov      -> build-coverage/coverage.info + genhtml if available
+#   neither   -> leaves the raw .gcda/.gcno files and says how to read them
+# Nothing is installed; the script degrades gracefully on a bare toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD=build-coverage
+
+cmake --preset coverage
+cmake --build --preset coverage -j"$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)" "$@"
+
+if command -v gcovr >/dev/null 2>&1; then
+  gcovr --root . --filter 'src/' --exclude '.*_test.*' \
+        --print-summary --html-details "$BUILD/coverage.html" \
+        "$BUILD"
+  echo "report: $BUILD/coverage.html"
+elif command -v lcov >/dev/null 2>&1; then
+  lcov --capture --directory "$BUILD" --output-file "$BUILD/coverage.info" \
+       --ignore-errors mismatch,negative 2>/dev/null
+  lcov --extract "$BUILD/coverage.info" "*/src/*" \
+       --output-file "$BUILD/coverage.info"
+  lcov --summary "$BUILD/coverage.info"
+  if command -v genhtml >/dev/null 2>&1; then
+    genhtml "$BUILD/coverage.info" --output-directory "$BUILD/coverage-html" \
+            >/dev/null
+    echo "report: $BUILD/coverage-html/index.html"
+  else
+    echo "report: $BUILD/coverage.info (install genhtml for HTML)"
+  fi
+else
+  echo "no gcovr/lcov on this host; raw counters are under $BUILD/"
+  echo "read one file with: gcov -o $BUILD/src/CMakeFiles/... <source.cc>"
+fi
