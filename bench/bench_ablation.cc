@@ -8,6 +8,7 @@
 #include "core/degrade.h"
 #include "core/guarded_heap.h"
 #include "core/guarded_pool.h"
+#include "obs/backtrace.h"
 #include "vm/sys.h"
 #include "vm/vm_stats.h"
 
@@ -111,6 +112,9 @@ void row(const char* label, const Result& r) {
 }  // namespace
 
 int main() {
+  // Pin the site-backtrace knob so every row except the dedicated section
+  // below measures the guard machinery alone (DPG_SITE_DEPTH defaults to 8).
+  obs::set_site_depth(0);
   std::printf("================================================================\n");
   std::printf("Ablations: %d malloc/free pairs of 64 B, steady state\n", kPairs);
   std::printf("================================================================\n");
@@ -144,6 +148,19 @@ int main() {
     std::snprintf(label, sizeof label, "batch=%zu, interleaved frees", batch);
     row(label, churn(batched, 64));
   }
+
+  // Site-backtrace cost (obs/backtrace.h): the frame-pointer walk staged at
+  // every guarded malloc/free, by captured depth. Depth 0 must read the same
+  // as baseline — the capture is a single atomic load and branch when off.
+  std::printf("\n--- site backtraces (DPG_SITE_DEPTH; postmortem dumps) ---\n");
+  for (const std::size_t depth : {std::size_t{0}, std::size_t{4},
+                                  std::size_t{8}}) {
+    obs::set_site_depth(depth);
+    char label[64];
+    std::snprintf(label, sizeof label, "site-depth=%zu", depth);
+    row(label, churn(base, 64));
+  }
+  obs::set_site_depth(0);
 
   // What each rung of the degradation ladder costs/saves, and what a churn
   // loop looks like while the kernel intermittently refuses mmap. Sticky

@@ -1,7 +1,10 @@
 #include "core/degrade.h"
 
+#include <ctime>
 #include <cstdio>
+#include <cstring>
 
+#include "obs/dump.h"
 #include "obs/env.h"
 #include "obs/metrics.h"
 
@@ -59,6 +62,37 @@ DegradationGovernor& DegradationGovernor::process() {
     obs::register_counter("dpg_degrade_vma_estimate", &c.vma_estimate);
     obs::register_counter("dpg_degraded_allocs", &c.degraded_allocs);
     obs::register_counter("dpg_guard_errors", &c.guard_errors);
+    // Contribute the ladder history to crash dumps. The section renderer is
+    // async-signal-safe: history() is lock-free and the payload is plain
+    // struct copies into the writer's scratch buffer.
+    obs::dump::register_section(
+        obs::dump::Tag::kLadder,
+        +[](void* ctx, char* buf, std::size_t cap) noexcept -> std::size_t {
+          auto* self = static_cast<DegradationGovernor*>(ctx);
+          constexpr std::size_t kMax = DegradationGovernor::kLadderHistory;
+          LadderRecord recs[kMax];
+          const std::size_t n = self->history(recs, kMax);
+          const std::size_t need = sizeof(obs::dump::LadderHeader) +
+                                   n * sizeof(obs::dump::LadderEntry);
+          if (need > cap) return 0;
+          obs::dump::LadderHeader hdr{};
+          hdr.current_mode = static_cast<std::uint32_t>(self->mode());
+          hdr.count = static_cast<std::uint32_t>(n);
+          std::memcpy(buf, &hdr, sizeof hdr);
+          char* p = buf + sizeof hdr;
+          for (std::size_t i = 0; i < n; ++i) {
+            obs::dump::LadderEntry e{};
+            e.monotonic_ns = recs[i].monotonic_ns;
+            e.from_mode = recs[i].from_mode;
+            e.to_mode = recs[i].to_mode;
+            e.recovery = recs[i].recovery;
+            std::memcpy(e.reason, recs[i].reason, sizeof e.reason);
+            std::memcpy(p, &e, sizeof e);
+            p += sizeof e;
+          }
+          return need;
+        },
+        gov);
     return gov;
   }();
   return *g;
@@ -86,8 +120,43 @@ void DegradationGovernor::shift_mode(GuardMode to, const char* why,
   obs::record_event(obs::EventKind::kDegrade,
                     static_cast<std::uint64_t>(to),
                     static_cast<std::uint64_t>(from));
+  // Record the transition in the postmortem ring: fill the slot, then
+  // release-publish the head so lock-free readers never see a torn entry.
+  {
+    const std::uint64_t head = ladder_head_.load(std::memory_order_relaxed);
+    LadderRecord& rec = ladder_[head % kLadderHistory];
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    rec.monotonic_ns = static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+                       static_cast<std::uint64_t>(ts.tv_nsec);
+    rec.from_mode = static_cast<std::uint32_t>(from);
+    rec.to_mode = static_cast<std::uint32_t>(to);
+    rec.recovery = is_recovery ? 1u : 0u;
+    std::memset(rec.reason, 0, sizeof rec.reason);
+    std::strncpy(rec.reason, why, sizeof rec.reason - 1);
+    ladder_head_.store(head + 1, std::memory_order_release);
+  }
   std::fprintf(stderr, "dpguard: guard policy %s -> %s (%s)\n",
                to_string(from), to_string(to), why);
+  // A real demotion is a fleet-visible event worth a postmortem snapshot.
+  // Recoveries are routine; "forced" rungs (tests, fuzz configs) would only
+  // add noise. write_crash_dump no-ops when DPG_REPORT_DIR is not armed and
+  // skips (no force) when another dump is already in flight.
+  if (!is_recovery && std::strcmp(why, "forced") != 0) {
+    obs::dump::write_crash_dump("demotion", nullptr);
+  }
+}
+
+std::size_t DegradationGovernor::history(LadderRecord* out,
+                                         std::size_t max) const noexcept {
+  const std::uint64_t head = ladder_head_.load(std::memory_order_acquire);
+  std::uint64_t n = head < kLadderHistory ? head : kLadderHistory;
+  if (n > max) n = max;
+  // Oldest first: the surviving window is [head - n, head).
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out[i] = ladder_[(head - n + i) % kLadderHistory];
+  }
+  return static_cast<std::size_t>(n);
 }
 
 GuardMode DegradationGovernor::on_alloc() noexcept {

@@ -48,6 +48,18 @@ enum class GuardMode : int {
   kUnguarded = 2,
 };
 
+// One degradation-ladder transition, kept in a bounded ring for postmortem
+// dumps (the kLadder section of a .dpgcrash file — see obs/dump.h). Field
+// layout mirrors obs::dump::LadderEntry so the dump section is a straight
+// copy.
+struct LadderRecord {
+  std::uint64_t monotonic_ns = 0;
+  std::uint32_t from_mode = 0;
+  std::uint32_t to_mode = 0;
+  std::uint32_t recovery = 0;  // 1 = promotion back up the ladder
+  char reason[20] = {};
+};
+
 [[nodiscard]] constexpr const char* to_string(GuardMode m) noexcept {
   switch (m) {
     case GuardMode::kFullGuard: return "full-guard";
@@ -123,6 +135,16 @@ class DegradationGovernor {
     return ctr_;
   }
 
+  // Transition-history ring capacity (matches the dump section bound).
+  static constexpr std::size_t kLadderHistory = 32;
+
+  // Copies the most recent transitions (oldest first) into out; returns the
+  // count. Async-signal-safe: the head is acquire-loaded, so every copied
+  // entry was fully release-published. A transition racing the copy can
+  // overwrite the oldest entry mid-read — tolerable for a diagnostic ring,
+  // and impossible on the terminal fault path (the process is aborting).
+  std::size_t history(LadderRecord* out, std::size_t max) const noexcept;
+
   // Test/bench hook: pin the ladder to a rung (counts as a transition when
   // the rung actually changes).
   void force_mode(GuardMode m) noexcept;
@@ -148,6 +170,11 @@ class DegradationGovernor {
   std::atomic<std::uint64_t> backoff_{1};  // doubles per relapse, capped
   std::mutex transition_mu_;
   GovernorCounters ctr_;
+  // Transition history: writers (under transition_mu_) fill the slot at
+  // head % capacity, then release-publish the new head; lock-free readers
+  // (the crash-dump section) acquire-load the head and copy backwards.
+  LadderRecord ladder_[kLadderHistory] = {};
+  std::atomic<std::uint64_t> ladder_head_{0};  // total transitions recorded
 };
 
 // Records a guard-layer error swallowed at a C boundary (LD_PRELOAD paths):

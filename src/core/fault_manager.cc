@@ -1,5 +1,6 @@
 #include "core/fault_manager.h"
 
+#include <setjmp.h>
 #include <signal.h>
 #include <string.h>
 #include <sys/mman.h>
@@ -11,6 +12,8 @@
 #include <mutex>
 
 #include "core/registry.h"
+#include "obs/backtrace.h"
+#include "obs/dump.h"
 #include "obs/fmt.h"
 #include "obs/metrics.h"
 
@@ -30,6 +33,72 @@ thread_local FaultManager::Probe t_probe;
 // up means the handler itself faulted — recursing would just re-enter until
 // the kernel gives up, so bail with a minimal async-safe note instead.
 thread_local volatile sig_atomic_t t_in_fault = 0;
+
+// Walker probe: while the use-site backtrace walk runs inside on_fault, the
+// frame-pointer chain may lead anywhere (the faulting thread's registers are
+// not presumed sane). A nested fault with t_walk_active up siglongjmps back
+// into capture_use_stack instead of recursing; the walker's `progress`
+// counter guarantees the frames gathered so far stay valid.
+thread_local volatile sig_atomic_t t_walk_active = 0;
+thread_local sigjmp_buf t_walk_env;
+
+#if defined(__SANITIZE_THREAD__)
+#define DPG_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DPG_TSAN 1
+#endif
+#endif
+#ifndef DPG_TSAN
+#define DPG_TSAN 0
+#endif
+
+// Use-site backtrace from the faulting signal context: the interrupted PC,
+// then the frame-pointer chain from the interrupted RBP. The upper stack
+// bound is a generous span above RSP — out-of-range frame pointers are
+// stopped by the walker probe, not by exact bounds (the faulting thread's
+// pthread bounds may be uncached and resolving them here is not
+// async-signal-safe).
+std::size_t capture_use_stack(const void* uctx, std::uintptr_t* out,
+                              std::size_t max) noexcept {
+#if defined(__x86_64__)
+  const std::size_t depth = obs::site_depth();
+  if (depth == 0 || uctx == nullptr || max == 0) return 0;
+  const auto* uc = static_cast<const ucontext_t*>(uctx);
+  const auto pc = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  // volatile: these live across sigsetjmp (-Wclobbered otherwise).
+  volatile auto fp =
+      static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+  volatile auto sp =
+      static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RSP]);
+  constexpr std::uintptr_t kStackSpan = std::uintptr_t{64} << 20;
+  volatile std::size_t progress = 0;
+  out[progress] = pc;
+  progress = 1;
+#if DPG_TSAN
+  // TSan's sigsetjmp interceptor allocates (signal-unsafe here) and its
+  // siglongjmp aborts on a buf set up on the sigaltstack ("can't find
+  // longjmp buf"), so the probe-protected walk cannot run under it. The
+  // interrupted PC alone still names the use site; the alloc/free stacks
+  // are unaffected (their walks run outside any signal).
+  (void)fp;
+  (void)sp;
+#else
+  if (sigsetjmp(t_walk_env, 1) == 0) {
+    t_walk_active = 1;
+    obs::walk_frame_chain(fp, sp, sp + kStackSpan, out, max, &progress);
+  }
+  t_walk_active = 0;
+#endif
+  return progress;
+#else
+  (void)uctx;
+  (void)out;
+  (void)max;
+  return 0;
+#endif
+}
+
 
 [[noreturn]] void nested_fault_bail() {
   static const char msg[] =
@@ -87,7 +156,19 @@ class AltStack {
 struct sigaction g_prev_segv{};
 struct sigaction g_prev_bus{};
 
-void write_report(const DanglingReport& r) {
+std::size_t put_stack(char* buf, std::size_t cap, std::size_t at,
+                      const char* label, const std::uintptr_t* frames,
+                      std::size_t depth) {
+  if (depth == 0) return at;
+  at = put_str(buf, cap, at, label);
+  for (std::size_t i = 0; i < depth; ++i) {
+    at = put_str(buf, cap, at, i == 0 ? "" : " ");
+    at = put_hex(buf, cap, at, frames[i]);
+  }
+  return put_str(buf, cap, at, "\n");
+}
+
+void write_report(const DanglingReport& r, const char* dump_name) {
   char buf[4096];
   std::size_t at = 0;
   at = put_str(buf, sizeof buf, at, "\n=== dpguard: dangling pointer ");
@@ -103,6 +184,17 @@ void write_report(const DanglingReport& r) {
   at = put_str(buf, sizeof buf, at, "\n  free site:  ");
   at = put_dec(buf, sizeof buf, at, r.free_site);
   at = put_str(buf, sizeof buf, at, "\n");
+  at = put_stack(buf, sizeof buf, at, "  use stack:   ", r.use_stack,
+                 r.use_stack_depth);
+  at = put_stack(buf, sizeof buf, at, "  alloc stack: ", r.alloc_stack,
+                 r.alloc_stack_depth);
+  at = put_stack(buf, sizeof buf, at, "  free stack:  ", r.free_stack,
+                 r.free_stack_depth);
+  if (dump_name != nullptr && dump_name[0] != '\0') {
+    at = put_str(buf, sizeof buf, at, "  crash dump:  ");
+    at = put_str(buf, sizeof buf, at, dump_name);
+    at = put_str(buf, sizeof buf, at, " (in DPG_REPORT_DIR)\n");
+  }
   if (r.trace_count != 0) {
     at = put_str(buf, sizeof buf, at, "  last ");
     at = put_dec(buf, sizeof buf, at, r.trace_count);
@@ -137,6 +229,33 @@ void write_report(const DanglingReport& r) {
   }
 }
 
+// Mirrors a DanglingReport into the obs-layer POD the dump writer persists
+// (obs cannot see core types; the numeric kind values match AccessKind).
+void fill_crash_report(obs::dump::CrashReport& cr, const DanglingReport& r) {
+  cr = obs::dump::CrashReport{};
+  cr.kind = static_cast<std::uint32_t>(r.kind);
+  cr.alloc_site = r.alloc_site;
+  cr.free_site = r.free_site;
+  cr.fault_address = r.fault_address;
+  cr.object_base = r.object_base;
+  cr.object_size = r.object_size;
+  cr.alloc_stack_depth = static_cast<std::uint32_t>(r.alloc_stack_depth);
+  cr.free_stack_depth = static_cast<std::uint32_t>(r.free_stack_depth);
+  cr.use_stack_depth = static_cast<std::uint32_t>(r.use_stack_depth);
+  for (std::size_t i = 0; i < r.alloc_stack_depth; ++i) {
+    cr.alloc_stack[i] = r.alloc_stack[i];
+  }
+  for (std::size_t i = 0; i < r.free_stack_depth; ++i) {
+    cr.free_stack[i] = r.free_stack[i];
+  }
+  for (std::size_t i = 0; i < r.use_stack_depth; ++i) {
+    cr.use_stack[i] = r.use_stack[i];
+  }
+  static_assert(sizeof cr.recent_trace == sizeof r.recent_trace);
+  cr.trace_count = static_cast<std::uint32_t>(r.trace_count);
+  memcpy(cr.recent_trace, r.recent_trace, sizeof cr.recent_trace);
+}
+
 [[noreturn]] void dispatch(const DanglingReport& incoming) {
   if (t_in_fault != 0) nested_fault_bail();
   t_in_fault = 1;
@@ -154,10 +273,27 @@ void write_report(const DanglingReport& r) {
     t_in_fault = 0;  // probe recovery resumes normal execution
     siglongjmp(t_probe.env, 1);
   }
+  // Software-raised reports (double free, invalid free, stale realloc) reach
+  // here in normal context with no signal frame; capture the use stack from
+  // the current call chain instead.
+  if (report.use_stack_depth == 0) {
+    report.use_stack_depth = obs::capture_site_stack(
+        report.use_stack, DanglingReport::kUseStackDepth);
+  }
   if (FaultManager::Callback cb = g_callback.load(std::memory_order_acquire)) {
     cb(report);
   }
-  write_report(report);
+  // Persist the postmortem dump before the human-readable report: the dump is
+  // the artifact the fleet keeps, stderr is best-effort. `force` because this
+  // path terminates the process — never yield to a concurrent snapshot.
+  char dump_name[128] = {0};
+  if (obs::dump::enabled()) {
+    obs::dump::CrashReport cr;
+    fill_crash_report(cr, report);
+    obs::dump::write_crash_dump("fault", &cr, dump_name, sizeof dump_name,
+                                /*force=*/true);
+  }
+  write_report(report, dump_name);
   abort();
 }
 
@@ -201,6 +337,13 @@ void chain_previous(int signo, siginfo_t* info, void* uctx) {
 }
 
 void on_fault(int signo, siginfo_t* info, void* uctx) {
+  // A fault raised by the use-stack walker itself (garbage frame pointer):
+  // abandon the walk, keep the frames already gathered. Checked before
+  // anything else — the walker runs with t_in_fault still down.
+  if (t_walk_active != 0) {
+    t_walk_active = 0;
+    siglongjmp(t_walk_env, 1);
+  }
   if (t_in_fault != 0) nested_fault_bail();
   const auto addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
   const ObjectRecord* rec = ShadowRegistry::global().lookup(addr);
@@ -227,6 +370,9 @@ void on_fault(int signo, siginfo_t* info, void* uctx) {
   report.object_size = rec->user_size;
   report.alloc_site = rec->alloc_site;
   report.free_site = rec->free_site;
+  copy_site_stacks(*rec, report);
+  report.use_stack_depth = capture_use_stack(
+      uctx, report.use_stack, DanglingReport::kUseStackDepth);
   dispatch(report);
 }
 

@@ -9,11 +9,57 @@
 #include <stdexcept>
 
 #include "core/fault_manager.h"
+#include "obs/backtrace.h"
 #include "obs/metrics.h"
 #include "vm/sys.h"
 #include "vm/vm_stats.h"
 
 namespace dpg::core {
+
+namespace {
+
+// Site-backtrace staging: public entry points capture the caller's frames
+// into these before taking the engine lock; the consumers (record install,
+// the free CAS winner) copy them into the slot header. Thread-local, so a
+// cross-shard free staged on thread A is consumed by A's own free_remote
+// call, never by the owner shard's drain. Zero work at DPG_SITE_DEPTH=0.
+struct StagedStack {
+  std::uintptr_t frames[obs::kMaxSiteFrames];
+  std::size_t depth = 0;
+};
+thread_local StagedStack t_alloc_stage;
+thread_local StagedStack t_free_stage;
+
+// noinline callees of the [[gnu::noinline]] walker: the first captured frame
+// is the public entry (malloc/free/...) itself, then the application chain.
+void stage_alloc_stack() noexcept {
+  t_alloc_stage.depth =
+      obs::capture_site_stack(t_alloc_stage.frames, obs::kMaxSiteFrames);
+}
+
+void stage_free_stack() noexcept {
+  t_free_stage.depth =
+      obs::capture_site_stack(t_free_stage.frames, obs::kMaxSiteFrames);
+}
+
+void consume_alloc_stage(ObjectRecord& rec) noexcept {
+  rec.alloc_stack_depth = static_cast<std::uint8_t>(t_alloc_stage.depth);
+  for (std::size_t i = 0; i < t_alloc_stage.depth; ++i) {
+    rec.alloc_stack[i] = t_alloc_stage.frames[i];
+  }
+}
+
+// Only the kLive->kFreed CAS winner calls this; release-publishing the depth
+// after the frames keeps the fault handler's acquire read tear-free.
+void consume_free_stage(ObjectRecord& rec) noexcept {
+  for (std::size_t i = 0; i < t_free_stage.depth; ++i) {
+    rec.free_stack[i] = t_free_stage.frames[i];
+  }
+  rec.free_stack_depth.store(static_cast<std::uint8_t>(t_free_stage.depth),
+                             std::memory_order_release);
+}
+
+}  // namespace
 
 ShadowEngine::ShadowEngine(vm::PhysArena& arena, alloc::MallocLike& under,
                            vm::VaFreeList* shadow_freelist, GuardConfig cfg)
@@ -42,6 +88,7 @@ ShadowEngine::~ShadowEngine() { release_all(); }
 
 void* ShadowEngine::malloc(std::size_t size, SiteId site) {
   obs::ScopedLatency lat(obs::Hist::kAllocNs);
+  stage_alloc_stack();
   std::lock_guard lock(mu_);
   return do_alloc_locked(size, site);
 }
@@ -52,6 +99,7 @@ void* ShadowEngine::calloc(std::size_t count, std::size_t size, SiteId site) {
   }
   const std::size_t total = count * size;
   obs::ScopedLatency lat(obs::Hist::kAllocNs);
+  stage_alloc_stack();
   std::lock_guard lock(mu_);
   void* p = do_alloc_locked(total, site);
   // Canonical blocks are recycled, so the memory may hold stale bytes.
@@ -78,6 +126,10 @@ void ShadowEngine::free_unguarded(void* p, SiteId site) {
 
 void* ShadowEngine::realloc(void* p, std::size_t new_size, SiteId site) {
   if (p == nullptr) return malloc(new_size, site);
+  // One capture serves both halves of the move: the new record's alloc stack
+  // and the old record's free stack are the same realloc call site.
+  stage_alloc_stack();
+  t_free_stage = t_alloc_stage;
   std::unique_lock lock(mu_);
   if (new_size == 0) {
     free_locked(lock, p, site);
@@ -182,6 +234,7 @@ void* ShadowEngine::install_record_locked(void* shadow_base,
   rec->user_size = size;
   rec->canonical = canon_addr;
   rec->alloc_site = site;
+  consume_alloc_stage(*rec);
   rec->owner_shard = shard_id_;
   rec->state.store(ObjectState::kLive, std::memory_order_release);
 
@@ -429,6 +482,7 @@ void* ShadowEngine::guarded_alloc_locked(std::size_t size, SiteId site) {
 void ShadowEngine::free(void* p, SiteId site) {
   if (p == nullptr) return;
   obs::ScopedLatency lat(obs::Hist::kFreeNs);
+  stage_free_stack();
   std::unique_lock lock(mu_);
   free_locked(lock, p, site);
 }
@@ -572,6 +626,9 @@ void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
     report.object_size = rec->user_size;
     report.alloc_site = rec->alloc_site;
     report.free_site = rec->free_site.load(std::memory_order_relaxed);
+    // The report carries the FIRST free's stack; the second free (this call)
+    // becomes the use stack at dispatch.
+    copy_site_stacks(*rec, report);
     lock.unlock();
     FaultManager::instance().raise_software(report);
   }
@@ -582,6 +639,7 @@ void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
          rec->canonical);
 
   rec->free_site.store(site, std::memory_order_relaxed);
+  consume_free_stage(*rec);
   stats_.frees.fetch_add(1, std::memory_order_relaxed);
   obs::record_event(obs::EventKind::kFree, user, rec->user_size, site);
 
@@ -592,6 +650,7 @@ void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
 void ShadowEngine::free_remote(void* p, SiteId site) {
   if (p == nullptr) return;
   obs::ScopedLatency lat(obs::Hist::kFreeNs);
+  stage_free_stack();
   const std::uintptr_t user = vm::addr(p);
   const ObjectRecord* found = ShadowRegistry::global().lookup(user);
   // The router (ShardedHeap) only sends pointers it resolved to a record of
@@ -619,9 +678,11 @@ void ShadowEngine::free_remote(void* p, SiteId site) {
     report.object_size = rec->user_size;
     report.alloc_site = rec->alloc_site;
     report.free_site = rec->free_site.load(std::memory_order_relaxed);
+    copy_site_stacks(*rec, report);
     FaultManager::instance().raise_software(report);
   }
   rec->free_site.store(site, std::memory_order_relaxed);
+  consume_free_stage(*rec);
   stats_.frees.fetch_add(1, std::memory_order_relaxed);
   stats_.remote_frees.fetch_add(1, std::memory_order_relaxed);
   obs::record_event(obs::EventKind::kFree, user, rec->user_size, site);

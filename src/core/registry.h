@@ -40,6 +40,15 @@ struct ObjectRecord {
   // Atomic because a double free racing a cross-shard free reads it for the
   // report while the CAS winner writes it; relaxed is fine (diagnostic only).
   std::atomic<SiteId> free_site{0};
+  // Site backtraces (DPG_SITE_DEPTH frames, see obs/backtrace.h). The alloc
+  // stack is written before the record is published to the registry. The free
+  // stack is written by the kLive->kFreed CAS winner only; free_stack_depth is
+  // stored with release order after the frames so the fault handler's acquire
+  // load never observes a depth covering unwritten frames.
+  std::uint8_t alloc_stack_depth = 0;
+  std::atomic<std::uint8_t> free_stack_depth{0};
+  std::uintptr_t alloc_stack[obs::kMaxSiteFrames] = {};
+  std::uintptr_t free_stack[obs::kMaxSiteFrames] = {};
   std::uint32_t owner_shard = 0;   // index of the ShadowEngine shard that
                                    // created the record (ShardedHeap routing)
   std::atomic<ObjectState> state{ObjectState::kLive};
@@ -60,6 +69,23 @@ struct ObjectRecord {
   // under its engine lock, so the field never races with prev/next use.
   std::atomic<ObjectRecord*> remote_next{nullptr};
 };
+
+// Copies a record's alloc/free site stacks into a report. Async-signal-safe
+// (the fault handler uses it too): the free depth is acquire-loaded after the
+// frames were release-published by the kLive->kFreed CAS winner, so a
+// cross-thread race never yields torn frames.
+inline void copy_site_stacks(const ObjectRecord& rec,
+                             DanglingReport& report) noexcept {
+  report.alloc_stack_depth = rec.alloc_stack_depth;
+  for (std::size_t i = 0; i < report.alloc_stack_depth; ++i) {
+    report.alloc_stack[i] = rec.alloc_stack[i];
+  }
+  report.free_stack_depth =
+      rec.free_stack_depth.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < report.free_stack_depth; ++i) {
+    report.free_stack[i] = rec.free_stack[i];
+  }
+}
 
 class ShadowRegistry {
  public:

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/backtrace.h"
 #include "obs/trace.h"
 
 namespace dpg::core {
@@ -54,6 +55,21 @@ struct DanglingReport {
   static constexpr std::size_t kTraceDepth = 32;
   std::size_t trace_count = 0;
   obs::TraceEvent recent_trace[kTraceDepth] = {};
+
+  // Raw return-address backtraces (deepest caller first) for the §4 diagnosis
+  // triple: where the object was allocated, where it was freed, and where the
+  // dangling use happened. Alloc/free stacks are copied out of the shadow
+  // slot's ObjectRecord; the use stack comes from the faulting signal context
+  // (or a normal-context walk for software-raised reports). All empty when
+  // DPG_SITE_DEPTH=0. Symbolized offline by tools/dpg_report.
+  static constexpr std::size_t kSiteStackDepth = obs::kMaxSiteFrames;
+  static constexpr std::size_t kUseStackDepth = obs::kMaxUseFrames;
+  std::size_t alloc_stack_depth = 0;
+  std::size_t free_stack_depth = 0;
+  std::size_t use_stack_depth = 0;
+  std::uintptr_t alloc_stack[kSiteStackDepth] = {};
+  std::uintptr_t free_stack[kSiteStackDepth] = {};
+  std::uintptr_t use_stack[kUseStackDepth] = {};
 
   [[nodiscard]] std::string describe() const;
 };

@@ -1,0 +1,143 @@
+// Bounded frame-pointer site backtraces for the postmortem pipeline.
+//
+// The paper's §4 diagnosis story is "which allocation, which free, which
+// use" — SiteIds carry that for instrumented programs, but the LD_PRELOAD /
+// production deployment has no instrumentation, so the guard captures a raw
+// return-address backtrace at guarded malloc and free (stored in the shadow
+// slot's ObjectRecord) and at the faulting use (from the signal context).
+// The offline analyzer (tools/dpg_report) symbolizes them against the dump's
+// module table.
+//
+// Cost model: DPG_SITE_DEPTH=0 reduces every hook to one relaxed load and a
+// branch (the bench_ablation site-depth row keeps this honest). Depth N pays
+// one cached thread-stack-bounds lookup plus N frame-pointer dereferences —
+// no syscalls, no allocation.
+//
+// Safety: the walker dereferences saved frame pointers, which on a broken
+// chain (a frame built without -fno-omit-frame-pointer) can be garbage. Two
+// regimes keep that from ever crashing the host:
+//   - allocation/free paths walk only inside the calling thread's pthread
+//     stack bounds (cached per thread, resolved lazily in normal context);
+//     every address in [frame, stack_hi) is mapped, so dereferences cannot
+//     fault and a garbage pointer merely ends the walk;
+//   - the fault handler (signal context, bounds possibly uncached) walks
+//     under the fault manager's walker probe: a nested fault aborts the walk
+//     via siglongjmp, and `progress` always reflects the frames completed.
+#pragma once
+
+#include <pthread.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/env.h"
+
+namespace dpg::obs {
+
+// Frames stored per allocation/free site in the slot header (ObjectRecord)
+// and the maximum use-site frames a report carries.
+inline constexpr std::size_t kMaxSiteFrames = 8;
+inline constexpr std::size_t kMaxUseFrames = 16;
+inline constexpr std::size_t kDefaultSiteDepth = 8;
+
+namespace detail {
+// -1 = env not consulted yet.
+inline std::atomic<int> g_site_depth{-1};
+}  // namespace detail
+
+// Configured capture depth: DPG_SITE_DEPTH clamped to [0, kMaxSiteFrames],
+// default kDefaultSiteDepth. 0 disables capture entirely.
+[[nodiscard]] inline std::size_t site_depth() noexcept {
+  int d = detail::g_site_depth.load(std::memory_order_relaxed);
+  if (d < 0) [[unlikely]] {
+    d = static_cast<int>(env_long("DPG_SITE_DEPTH",
+                                  static_cast<long>(kDefaultSiteDepth), 0,
+                                  static_cast<long>(kMaxSiteFrames)));
+    detail::g_site_depth.store(d, std::memory_order_relaxed);
+  }
+  return static_cast<std::size_t>(d);
+}
+
+// Test/bench hook: override DPG_SITE_DEPTH (clamped the same way).
+inline void set_site_depth(std::size_t d) noexcept {
+  if (d > kMaxSiteFrames) d = kMaxSiteFrames;
+  detail::g_site_depth.store(static_cast<int>(d), std::memory_order_relaxed);
+}
+
+struct StackBounds {
+  std::uintptr_t lo = 0;
+  std::uintptr_t hi = 0;
+  [[nodiscard]] bool ok() const noexcept { return hi > lo; }
+};
+
+// The calling thread's stack range, cached per thread. NOT async-signal-safe
+// on the first call (pthread_getattr_np may allocate); signal-context callers
+// must use the probe-guarded walk instead.
+[[nodiscard]] inline StackBounds thread_stack_bounds() noexcept {
+  thread_local StackBounds bounds = [] {
+    StackBounds r;
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+      void* base = nullptr;
+      std::size_t size = 0;
+      if (pthread_attr_getstack(&attr, &base, &size) == 0) {
+        r.lo = reinterpret_cast<std::uintptr_t>(base);
+        r.hi = r.lo + size;
+      }
+      pthread_attr_destroy(&attr);
+    }
+    return r;
+  }();
+  return bounds;
+}
+
+// Walks an x86-64 frame-pointer chain starting at `fp`, appending return
+// addresses to out[*progress..] and bumping *progress after each stored
+// frame. Every dereference stays inside [lo, hi); callers whose `hi` may
+// overrun the real stack (signal context with unknown bounds) must arrange
+// fault recovery — `progress` is kept consistent for a walk aborted by
+// siglongjmp at any point.
+inline void walk_frame_chain(std::uintptr_t fp, std::uintptr_t lo,
+                             std::uintptr_t hi, std::uintptr_t* out,
+                             std::size_t max,
+                             volatile std::size_t* progress) noexcept {
+  // A single frame larger than this is assumed to be chain corruption, not a
+  // real alloca; it bounds how far a bogus "next" pointer can take the walk.
+  constexpr std::uintptr_t kMaxFrameStride = std::uintptr_t{1} << 20;
+  std::size_t n = *progress;
+  while (n < max) {
+    if (fp < lo || fp + 2 * sizeof(std::uintptr_t) > hi ||
+        (fp & (sizeof(std::uintptr_t) - 1)) != 0) {
+      break;
+    }
+    const auto* frame = reinterpret_cast<const std::uintptr_t*>(fp);
+    const std::uintptr_t next = frame[0];
+    const std::uintptr_t ret = frame[1];
+    if (ret < 0x1000) break;  // below any mapped text: end of chain
+    out[n++] = ret;
+    *progress = n;
+    if (next <= fp || next - fp > kMaxFrameStride) break;
+    lo = fp;  // frames must keep growing toward the stack base
+    fp = next;
+  }
+}
+
+// Captures the calling thread's backtrace (deepest caller first), up to
+// min(max, site_depth()) frames. Returns 0 when capture is disabled or the
+// stack bounds are unknown. Normal-context only (see thread_stack_bounds).
+// noinline so the walk reliably starts at the *caller's* frame.
+[[gnu::noinline]] inline std::size_t capture_site_stack(
+    std::uintptr_t* out, std::size_t max) noexcept {
+  const std::size_t depth = site_depth();
+  if (depth == 0) return 0;
+  if (depth < max) max = depth;
+  const StackBounds bounds = thread_stack_bounds();
+  if (!bounds.ok()) return 0;
+  volatile std::size_t n = 0;
+  walk_frame_chain(reinterpret_cast<std::uintptr_t>(__builtin_frame_address(0)),
+                   bounds.lo, bounds.hi, out, max, &n);
+  return n;
+}
+
+}  // namespace dpg::obs

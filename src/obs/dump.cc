@@ -1,0 +1,528 @@
+#include "obs/dump.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "obs/env.h"
+#include "obs/fmt.h"
+#include "obs/metrics.h"
+
+namespace dpg::obs::dump {
+
+namespace {
+
+// --- armed state (written at set_report_dir time, read in handlers) ---------
+
+std::atomic<int> g_dir_fd{-1};
+std::atomic<int> g_maps_fd{-1};
+std::atomic<int> g_statm_fd{-1};
+std::atomic<IoFaultHook> g_io_hook{nullptr};
+std::atomic_flag g_dump_lock = ATOMIC_FLAG_INIT;
+std::atomic<std::uint64_t> g_seq{0};
+std::atomic<std::uint64_t> g_written{0};
+std::atomic<std::uint64_t> g_failed{0};
+
+struct Section {
+  Tag tag{};
+  SectionFn fn = nullptr;
+  void* ctx = nullptr;
+};
+constexpr std::size_t kMaxSections = 8;
+Section g_sections[kMaxSections];
+std::atomic<unsigned> g_section_count{0};
+std::mutex g_section_mu;
+
+struct sigaction g_prev_usr2 {};
+bool g_prev_usr2_valid = false;
+
+// Scratch for assembling multi-part TLV payloads (rings, histograms, maps,
+// registered sections) before the single tlv() emit. Large enough for a full
+// ring (256 events * 32 B = 8 KiB) and a worst-case histogram; sized well
+// under the fault manager's 256 KiB alternate stack.
+constexpr std::size_t kScratchCap = 48 * 1024;
+constexpr std::size_t kMapsCap = 32 * 1024;
+
+int injected_errno(bool is_write) noexcept {
+  const IoFaultHook hook = g_io_hook.load(std::memory_order_acquire);
+  return hook != nullptr ? hook(is_write) : 0;
+}
+
+// EINTR-retrying read of a pre-opened procfs fd from offset 0.
+std::size_t pread_all(int fd, char* buf, std::size_t cap) noexcept {
+  if (fd < 0) return 0;
+  std::size_t at = 0;
+  while (at < cap) {
+    const ssize_t n = pread(fd, buf + at, cap - at, static_cast<off_t>(at));
+    if (n > 0) {
+      at += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  return at;
+}
+
+// --- the TLV emitter --------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(int fd) noexcept : fd_(fd) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::uint32_t crc() const noexcept { return crc_; }
+
+  bool emit(const void* data, std::size_t len) noexcept {
+    if (!ok_) return false;
+    crc_ = crc32_update(crc_, data, len);
+    const char* p = static_cast<const char*>(data);
+    std::size_t done = 0;
+    int retries = 0;
+    while (done < len) {
+      const int inj = injected_errno(/*is_write=*/true);
+      if (inj != 0) {
+        if (inj == EINTR && retries < kMaxRetries) {
+          ++retries;
+          continue;
+        }
+        ok_ = false;
+        return false;
+      }
+      const ssize_t n = write(fd_, p + done, len - done);
+      if (n > 0) {
+        done += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR && retries < kMaxRetries) {
+        ++retries;
+        continue;
+      }
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  bool tlv(Tag tag, const void* payload, std::size_t len) noexcept {
+    const TlvHeader h{static_cast<std::uint32_t>(tag), 0,
+                      static_cast<std::uint64_t>(len)};
+    return emit(&h, sizeof h) && (len == 0 || emit(payload, len));
+  }
+
+  // The trailer's CRC covers everything before its own TlvHeader.
+  bool end() noexcept {
+    const EndSection e{crc32_final(crc_), 0};
+    return tlv(Tag::kEnd, &e, sizeof e);
+  }
+
+ private:
+  static constexpr int kMaxRetries = 64;
+  int fd_;
+  std::uint32_t crc_ = crc32_init();
+  bool ok_ = true;
+};
+
+// --- payload builders -------------------------------------------------------
+
+std::uint64_t realtime_ns() noexcept {
+  struct timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void fill_meta(MetaSection* m, const char* reason) noexcept {
+  std::memset(m, 0, sizeof *m);
+  m->realtime_ns = realtime_ns();
+  m->monotonic_ns = monotonic_ns();
+  m->pid = static_cast<std::uint32_t>(getpid());
+  m->tid = static_cast<std::uint32_t>(gettid());
+  m->site_depth = static_cast<std::uint32_t>(site_depth());
+  std::size_t i = 0;
+  for (; reason != nullptr && reason[i] != '\0' && i + 1 < sizeof m->reason;
+       ++i) {
+    m->reason[i] = reason[i];
+  }
+  m->reason[i] = '\0';
+}
+
+bool emit_counters(Writer& w, char* scratch) noexcept {
+  const std::size_t n = counter_count();
+  if (n == 0) return true;
+  auto* entries = reinterpret_cast<CounterEntry*>(scratch);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n && (count + 1) * sizeof(CounterEntry) <=
+                                       kScratchCap;
+       ++i) {
+    const char* name = counter_name(i);
+    if (name == nullptr) continue;
+    CounterEntry& e = entries[count++];
+    std::memset(&e, 0, sizeof e);
+    std::size_t k = 0;
+    for (; name[k] != '\0' && k + 1 < sizeof e.name; ++k) e.name[k] = name[k];
+    e.value = counter_value_at(i);
+  }
+  return w.tlv(Tag::kCounters, entries, count * sizeof(CounterEntry));
+}
+
+bool emit_histograms(Writer& w, char* scratch) noexcept {
+  for (unsigned i = 0; i < static_cast<unsigned>(Hist::kCount); ++i) {
+    const std::size_t len =
+        encode_histogram(hist(static_cast<Hist>(i)),
+                         hist_name(static_cast<Hist>(i)), scratch, kScratchCap);
+    if (len == 0) continue;  // empty histogram or does not fit: skip
+    if (!w.tlv(Tag::kHistogram, scratch, len)) return false;
+  }
+  return true;
+}
+
+bool emit_rings(Writer& w, char* scratch) noexcept {
+  const std::size_t rings = trace_ring_count();
+  for (std::size_t i = 0; i < rings; ++i) {
+    const TraceRing* ring = trace_ring_at(i);
+    if (ring == nullptr || ring->pushed() == 0) continue;
+    auto* hdr = reinterpret_cast<RingHeader*>(scratch);
+    auto* events = reinterpret_cast<TraceEvent*>(scratch + sizeof(RingHeader));
+    constexpr std::size_t kMaxEvents =
+        (kScratchCap - sizeof(RingHeader)) / sizeof(TraceEvent);
+    const std::size_t n =
+        ring->capture(events, kMaxEvents < TraceRing::kCapacity
+                                  ? kMaxEvents
+                                  : TraceRing::kCapacity);
+    hdr->ring_index = static_cast<std::uint32_t>(i);
+    hdr->count = static_cast<std::uint32_t>(n);
+    if (!w.tlv(Tag::kRing, scratch,
+               sizeof(RingHeader) + n * sizeof(TraceEvent))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Streams /proc/self/maps (via the pre-opened fd), keeping only file-backed
+// module lines for the analyzer's module table, counting every VMA for the
+// kVmStats section. Returns the kept-bytes length; sets *map_lines and
+// *truncated.
+std::size_t build_maps(char* out, std::size_t out_cap, std::uint64_t* map_lines,
+                       std::uint64_t* truncated) noexcept {
+  *map_lines = 0;
+  *truncated = 0;
+  const int fd = g_maps_fd.load(std::memory_order_acquire);
+  if (fd < 0) return 0;
+  char chunk[4096];
+  char line[512];
+  std::size_t line_len = 0;
+  std::size_t out_at = 0;
+  off_t off = 0;
+  for (;;) {
+    ssize_t n = pread(fd, chunk, sizeof chunk, off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    off += n;
+    for (ssize_t c = 0; c < n; ++c) {
+      const char ch = chunk[c];
+      if (ch != '\n') {
+        if (line_len + 1 < sizeof line) line[line_len++] = ch;
+        continue;
+      }
+      line[line_len] = '\0';
+      ++*map_lines;
+      // Module lines have an absolute path (field 6 starts with '/'); skip
+      // anonymous VMAs and memfd-backed arenas — the analyzer only needs
+      // real, on-disk objects it can run addr2line against.
+      const char* slash = std::strchr(line, '/');
+      const bool keep =
+          slash != nullptr && std::strstr(line, "memfd:") == nullptr;
+      if (keep) {
+        if (out_at + line_len + 1 < out_cap) {
+          std::memcpy(out + out_at, line, line_len);
+          out_at += line_len;
+          out[out_at++] = '\n';
+        } else {
+          *truncated = 1;
+        }
+      }
+      line_len = 0;
+    }
+  }
+  return out_at;
+}
+
+bool emit_maps_and_vmstats(Writer& w, char* scratch) noexcept {
+  VmStatsSection vs{};
+  const std::size_t maps_len =
+      build_maps(scratch, kMapsCap, &vs.map_lines, &vs.modules_truncated);
+  if (!w.tlv(Tag::kMaps, scratch, maps_len)) return false;
+
+  char statm[128];
+  const std::size_t n =
+      pread_all(g_statm_fd.load(std::memory_order_acquire), statm,
+                sizeof statm - 1);
+  statm[n] = '\0';
+  // /proc/self/statm: "size resident shared text lib data dt" in pages.
+  std::uint64_t fields[3] = {0, 0, 0};
+  const char* p = statm;
+  for (int f = 0; f < 3 && *p != '\0'; ++f) {
+    while (*p == ' ') ++p;
+    std::uint64_t v = 0;
+    while (*p >= '0' && *p <= '9') v = v * 10 + static_cast<std::uint64_t>(*p++ - '0');
+    fields[f] = v;
+  }
+  vs.vm_size_pages = fields[0];
+  vs.rss_pages = fields[1];
+  vs.shared_pages = fields[2];
+  return w.tlv(Tag::kVmStats, &vs, sizeof vs);
+}
+
+bool emit_registered_sections(Writer& w, char* scratch) noexcept {
+  const unsigned n = g_section_count.load(std::memory_order_acquire);
+  for (unsigned i = 0; i < n; ++i) {
+    const Section& s = g_sections[i];
+    const std::size_t len = s.fn(s.ctx, scratch, kScratchCap);
+    if (len == 0 || len > kScratchCap) continue;
+    if (!w.tlv(s.tag, scratch, len)) return false;
+  }
+  return true;
+}
+
+// dpg-<pid>-<monotonic_us>-<seq>-<reason>.dpgcrash, reason sanitized to
+// [A-Za-z0-9-], at most 16 chars.
+void build_name(char* buf, std::size_t cap, const char* reason,
+                std::uint64_t seq) noexcept {
+  std::size_t at = 0;
+  at = fmt::put_str(buf, cap, at, "dpg-");
+  at = fmt::put_dec(buf, cap, at, static_cast<std::uint64_t>(getpid()));
+  at = fmt::put_str(buf, cap, at, "-");
+  at = fmt::put_dec(buf, cap, at, monotonic_ns() / 1000);
+  at = fmt::put_str(buf, cap, at, "-");
+  at = fmt::put_dec(buf, cap, at, seq);
+  at = fmt::put_str(buf, cap, at, "-");
+  std::size_t copied = 0;
+  for (const char* r = reason; r != nullptr && *r != '\0' && copied < 16; ++r) {
+    const char c = *r;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-';
+    if (ok && at + 1 < cap) {
+      buf[at++] = c;
+      ++copied;
+    }
+  }
+  at = fmt::put_str(buf, cap, at, ".dpgcrash");
+  buf[at < cap ? at : cap - 1] = '\0';
+}
+
+void on_sigusr2(int signo, siginfo_t* info, void* uctx) {
+  const int saved_errno = errno;
+  write_crash_dump("sigusr2", nullptr);
+  errno = saved_errno;
+  if (g_prev_usr2_valid) {
+    if ((g_prev_usr2.sa_flags & SA_SIGINFO) != 0) {
+      if (g_prev_usr2.sa_sigaction != nullptr) {
+        g_prev_usr2.sa_sigaction(signo, info, uctx);
+      }
+    } else if (g_prev_usr2.sa_handler != SIG_IGN &&
+               g_prev_usr2.sa_handler != SIG_DFL &&
+               g_prev_usr2.sa_handler != nullptr) {
+      g_prev_usr2.sa_handler(signo);
+    }
+  }
+}
+
+void install_sigusr2_once() noexcept {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa{};
+    sa.sa_sigaction = on_sigusr2;
+    sa.sa_flags = SA_RESTART | SA_SIGINFO;
+    sigemptyset(&sa.sa_mask);
+    // Mirror of metrics.cc's SIGUSR1 registration: the two snapshot signals
+    // must never interleave (both walk the counter/ring registries).
+    sigaddset(&sa.sa_mask, SIGUSR1);
+    if (sigaction(SIGUSR2, &sa, &g_prev_usr2) == 0) {
+      g_prev_usr2_valid = true;
+    }
+  });
+}
+
+void close_armed_fds() noexcept {
+  const int dir = g_dir_fd.exchange(-1, std::memory_order_acq_rel);
+  const int maps = g_maps_fd.exchange(-1, std::memory_order_acq_rel);
+  const int statm = g_statm_fd.exchange(-1, std::memory_order_acq_rel);
+  if (dir >= 0) close(dir);
+  if (maps >= 0) close(maps);
+  if (statm >= 0) close(statm);
+}
+
+}  // namespace
+
+void init_from_env() noexcept {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* dir = env_str("DPG_REPORT_DIR");
+    if (dir != nullptr && dir[0] != '\0') set_report_dir(dir);
+  });
+}
+
+bool set_report_dir(const char* dir) noexcept {
+  if (dir == nullptr || dir[0] == '\0') {
+    close_armed_fds();
+    return true;
+  }
+  mkdir(dir, 0755);  // best effort; EEXIST is the common case
+  const int dfd = open(dir, O_DIRECTORY | O_RDONLY | O_CLOEXEC);
+  if (dfd < 0) return false;
+  const int maps = open("/proc/self/maps", O_RDONLY | O_CLOEXEC);
+  const int statm = open("/proc/self/statm", O_RDONLY | O_CLOEXEC);
+  close_armed_fds();
+  g_maps_fd.store(maps, std::memory_order_release);
+  g_statm_fd.store(statm, std::memory_order_release);
+  g_dir_fd.store(dfd, std::memory_order_release);
+  install_sigusr2_once();
+  // The counters are registered here (not namespace-scope) so they only show
+  // up in processes that actually arm the dump writer.
+  static std::once_flag counters_once;
+  std::call_once(counters_once, [] {
+    register_counter("dpg_crash_dumps_written", &g_written);
+    register_counter("dpg_crash_dumps_failed", &g_failed);
+  });
+  return true;
+}
+
+bool enabled() noexcept {
+  return g_dir_fd.load(std::memory_order_acquire) >= 0;
+}
+
+bool register_section(Tag tag, SectionFn fn, void* ctx) noexcept {
+  if (fn == nullptr) return false;
+  std::lock_guard lock(g_section_mu);
+  const unsigned n = g_section_count.load(std::memory_order_relaxed);
+  if (n >= kMaxSections) return false;
+  g_sections[n].tag = tag;
+  g_sections[n].fn = fn;
+  g_sections[n].ctx = ctx;
+  g_section_count.store(n + 1, std::memory_order_release);
+  return true;
+}
+
+void set_io_fault_hook(IoFaultHook hook) noexcept {
+  g_io_hook.store(hook, std::memory_order_release);
+}
+
+std::uint64_t dumps_written() noexcept {
+  return g_written.load(std::memory_order_relaxed);
+}
+
+std::uint64_t dumps_failed() noexcept {
+  return g_failed.load(std::memory_order_relaxed);
+}
+
+std::size_t encode_histogram(const LatencyHistogram& h, const char* name,
+                             char* buf, std::size_t cap) noexcept {
+  if (h.count() == 0 || cap < sizeof(HistogramHeader)) return 0;
+  auto* hdr = reinterpret_cast<HistogramHeader*>(buf);
+  std::memset(hdr, 0, sizeof *hdr);
+  std::size_t k = 0;
+  for (; name != nullptr && name[k] != '\0' && k + 1 < sizeof hdr->name; ++k) {
+    hdr->name[k] = name[k];
+  }
+  hdr->count = h.count();
+  hdr->sum = h.sum();
+  hdr->max = h.max_value();
+  std::size_t at = sizeof(HistogramHeader);
+  std::uint64_t n_buckets = 0;
+  for (unsigned i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    const std::uint64_t c = h.bucket_count(i);
+    if (c == 0) continue;
+    if (at + sizeof(HistogramBucket) > cap) return 0;  // does not fit
+    HistogramBucket b{i, c};
+    std::memcpy(buf + at, &b, sizeof b);
+    at += sizeof b;
+    ++n_buckets;
+  }
+  hdr->n_buckets = n_buckets;
+  return at;
+}
+
+bool write_crash_dump(const char* reason, const CrashReport* report,
+                      char* out_path, std::size_t out_path_cap,
+                      bool force) noexcept {
+  const int dfd = g_dir_fd.load(std::memory_order_acquire);
+  if (dfd < 0) return false;
+
+  // Snapshot-class dumps yield to an in-flight writer; the terminal fault
+  // path proceeds regardless (the process aborts right after, and a dump it
+  // abandoned mid-write fails CRC validation rather than corrupting state —
+  // each writer owns its own fd and stack buffers).
+  bool owned = true;
+  if (g_dump_lock.test_and_set(std::memory_order_acquire)) {
+    if (!force) {
+      g_failed.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    owned = false;
+  }
+
+  char name[128];
+  int fd = -1;
+  for (int attempt = 0; attempt < 4 && fd < 0; ++attempt) {
+    const std::uint64_t seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+    build_name(name, sizeof name, reason, seq);
+    const int inj = injected_errno(/*is_write=*/false);
+    if (inj != 0) {
+      if (inj == EINTR) continue;
+      break;
+    }
+    fd = openat(dfd, name, O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd < 0 && errno != EEXIST && errno != EINTR) break;
+  }
+  if (fd < 0) {
+    g_failed.fetch_add(1, std::memory_order_relaxed);
+    if (owned) g_dump_lock.clear(std::memory_order_release);
+    return false;
+  }
+
+  char scratch[kScratchCap];
+  Writer w(fd);
+
+  FileHeader fh{};
+  std::memcpy(fh.magic, kMagic, sizeof fh.magic);
+  fh.version = kVersion;
+  w.emit(&fh, sizeof fh);
+
+  MetaSection meta;
+  fill_meta(&meta, reason);
+  w.tlv(Tag::kMeta, &meta, sizeof meta);
+
+  if (report != nullptr) w.tlv(Tag::kReport, report, sizeof *report);
+
+  emit_counters(w, scratch);
+  emit_histograms(w, scratch);
+  emit_rings(w, scratch);
+  emit_maps_and_vmstats(w, scratch);
+  emit_registered_sections(w, scratch);
+  w.end();
+
+  close(fd);
+  const bool ok = w.ok();
+  (ok ? g_written : g_failed).fetch_add(1, std::memory_order_relaxed);
+  if (ok && out_path != nullptr && out_path_cap > 0) {
+    std::size_t at = 0;
+    // Best effort: report the name relative to the armed directory (handlers
+    // cannot re-derive the directory path; the analyzer takes either form).
+    at = fmt::put_str(out_path, out_path_cap, at, name);
+    out_path[at < out_path_cap ? at : out_path_cap - 1] = '\0';
+  }
+  if (owned) g_dump_lock.clear(std::memory_order_release);
+  return ok;
+}
+
+}  // namespace dpg::obs::dump

@@ -1,0 +1,249 @@
+// Async-signal-safe postmortem crash-dump writer and the .dpgcrash format.
+//
+// A detection in a production server is worthless if it dies with stderr.
+// This module serializes everything the fault path knows — the dangling
+// report with its alloc/free/use backtraces, every thread's flight-recorder
+// ring, the counter registry, latency-histogram snapshots, the degradation
+// ladder history, VM stats, and the /proc/self/maps module table — into a
+// self-describing binary file in DPG_REPORT_DIR. The offline analyzer
+// (tools/dpg_report) symbolizes and dedups those files fleet-wide.
+//
+// Format: 16-byte file header (magic "DPGCRSH1", version), then a sequence
+// of TLV records (16-byte TlvHeader + payload), terminated by a Tag::kEnd
+// record whose payload is the CRC32 (IEEE) of every byte written before the
+// kEnd TLV header. A reader that cannot find a valid kEnd record with a
+// matching CRC must treat the dump as truncated/corrupt. Unknown tags are
+// skippable by construction (length-prefixed). All integers are native-endian
+// little-endian x86-64; dumps are analyzed on the same fleet architecture
+// that produced them.
+//
+// Async-signal-safety contract (the writer runs inside a SIGSEGV handler on
+// the alternate stack):
+//   - no malloc, no stdio: stack buffers + obs/fmt.h only;
+//   - the report directory, /proc/self/maps and /proc/self/statm fds are
+//     opened once at arm time (set_report_dir) and only read/pread later —
+//     the sole crash-time name lookup is openat(dirfd, unique-name) for the
+//     dump file itself;
+//   - every write is EINTR-retried and short-write-resumed; injected openat/
+//     write failures (DPG_FAULT_INJECT via the vm-installed io hook) leave a
+//     truncated file that the analyzer rejects by CRC, never a hang or a
+//     nested crash;
+//   - a single atomic_flag serializes writers. Snapshot-class dumps (SIGUSR2,
+//     demotion) skip when busy; the terminal fault path proceeds anyway
+//     (`force`) since the process is about to abort and a concurrently
+//     abandoned file is caught by its missing kEnd record.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/backtrace.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace dpg::obs::dump {
+
+inline constexpr char kMagic[8] = {'D', 'P', 'G', 'C', 'R', 'S', 'H', '1'};
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kMaxPathLen = 512;
+
+enum class Tag : std::uint32_t {
+  kMeta = 1,       // MetaSection
+  kReport = 2,     // CrashReport
+  kCounters = 3,   // CounterEntry[]
+  kHistogram = 4,  // HistogramHeader + HistogramBucket[] (nonzero buckets)
+  kRing = 5,       // RingHeader + TraceEvent[] (one TLV per thread ring)
+  kMaps = 6,       // file-backed /proc/self/maps lines (text), maybe clipped
+  kVmStats = 7,    // VmStatsSection
+  kLadder = 8,     // LadderHeader + LadderEntry[] (degradation history)
+  kEnd = 9,        // EndSection (CRC32 trailer) — always last
+};
+
+struct FileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t reserved;
+};
+static_assert(sizeof(FileHeader) == 16);
+
+struct TlvHeader {
+  std::uint32_t tag;
+  std::uint32_t reserved;
+  std::uint64_t length;  // payload bytes following this header
+};
+static_assert(sizeof(TlvHeader) == 16);
+
+struct MetaSection {
+  std::uint64_t realtime_ns;   // CLOCK_REALTIME at dump time
+  std::uint64_t monotonic_ns;  // CLOCK_MONOTONIC at dump time
+  std::uint32_t pid;
+  std::uint32_t tid;
+  std::uint32_t site_depth;  // effective DPG_SITE_DEPTH
+  std::uint32_t reserved;
+  char reason[32];  // "fault", "sigusr2", "demotion", "oracle-mismatch", ...
+};
+static_assert(sizeof(MetaSection) == 64);
+
+// Layering note: dpg_obs sits below dpg_core, so this is a plain-data mirror
+// of core::DanglingReport (kind values match core::AccessKind) that the fault
+// manager fills at dispatch. The analyzer only ever sees this POD.
+struct CrashReport {
+  std::uint32_t kind;  // core::AccessKind numeric value
+  std::uint32_t alloc_site;
+  std::uint32_t free_site;
+  std::uint32_t reserved;
+  std::uint64_t fault_address;
+  std::uint64_t object_base;
+  std::uint64_t object_size;
+  std::uint32_t alloc_stack_depth;
+  std::uint32_t free_stack_depth;
+  std::uint32_t use_stack_depth;
+  std::uint32_t trace_count;
+  std::uint64_t alloc_stack[kMaxSiteFrames];
+  std::uint64_t free_stack[kMaxSiteFrames];
+  std::uint64_t use_stack[kMaxUseFrames];
+  TraceEvent recent_trace[32];  // the faulting thread's ring, oldest first
+};
+static_assert(sizeof(TraceEvent) == 32);
+static_assert(sizeof(CrashReport) == 56 + 8 * (8 + 8 + 16) + 32 * 32);
+
+struct CounterEntry {
+  char name[40];
+  std::uint64_t value;
+};
+static_assert(sizeof(CounterEntry) == 48);
+
+struct HistogramHeader {
+  char name[16];
+  std::uint64_t count;
+  std::uint64_t sum;
+  std::uint64_t max;
+  std::uint64_t n_buckets;  // HistogramBucket records following
+};
+static_assert(sizeof(HistogramHeader) == 48);
+
+struct HistogramBucket {
+  std::uint64_t index;
+  std::uint64_t count;
+};
+
+struct RingHeader {
+  std::uint32_t ring_index;  // slot in the obs ring table (thread id order)
+  std::uint32_t count;       // TraceEvent records following, oldest first
+};
+
+struct VmStatsSection {
+  // /proc/self/statm fields, in pages.
+  std::uint64_t vm_size_pages;
+  std::uint64_t rss_pages;
+  std::uint64_t shared_pages;
+  std::uint64_t map_lines;          // total VMA count seen in maps
+  std::uint64_t modules_truncated;  // 1 if the kMaps payload was clipped
+};
+
+struct LadderHeader {
+  std::uint32_t current_mode;  // core::GuardMode numeric value at dump time
+  std::uint32_t count;         // LadderEntry records following, oldest first
+};
+
+struct LadderEntry {
+  std::uint64_t monotonic_ns;
+  std::uint32_t from_mode;
+  std::uint32_t to_mode;
+  std::uint32_t recovery;  // 1 = promotion back up the ladder
+  char reason[20];
+};
+static_assert(sizeof(LadderEntry) == 40);
+
+struct EndSection {
+  std::uint32_t crc32;  // over bytes [0, offset-of-kEnd-TlvHeader)
+  std::uint32_t reserved;
+};
+
+// --- CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) -------------------------
+// Table is computed at compile time, so updates are pure arithmetic —
+// async-signal-safe by construction. Shared by writer and analyzer.
+
+namespace detail {
+struct CrcTable {
+  std::uint32_t v[256];
+};
+constexpr CrcTable make_crc_table() noexcept {
+  CrcTable t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t.v[i] = c;
+  }
+  return t;
+}
+inline constexpr CrcTable kCrcTable = make_crc_table();
+}  // namespace detail
+
+[[nodiscard]] inline std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+
+[[nodiscard]] inline std::uint32_t crc32_update(std::uint32_t crc,
+                                                const void* data,
+                                                std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = detail::kCrcTable.v[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+[[nodiscard]] inline std::uint32_t crc32_final(std::uint32_t crc) noexcept {
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// --- writer API -------------------------------------------------------------
+
+// Parses DPG_REPORT_DIR; when set, arms the writer (pre-opens fds, installs
+// the chain-preserving SIGUSR2 snapshot handler). Idempotent.
+void init_from_env() noexcept;
+
+// Arms the writer on `dir` (created if missing), pre-opening the directory,
+// /proc/self/maps and /proc/self/statm. nullptr disarms. Installs the SIGUSR2
+// handler on first successful arm. Returns false when the directory cannot be
+// opened. Not async-signal-safe (arm at startup, not in handlers).
+bool set_report_dir(const char* dir) noexcept;
+
+// True when a report directory is armed.
+[[nodiscard]] bool enabled() noexcept;
+
+// Writes one .dpgcrash dump. `reason` lands in the MetaSection (sanitized
+// into the filename); `report` is optional (snapshot dumps pass nullptr).
+// When another dump is in flight: returns false unless `force` (the terminal
+// fault path), which proceeds regardless. On success copies the dump's path
+// into out_path (when non-null, capacity out_path_cap). Async-signal-safe.
+bool write_crash_dump(const char* reason, const CrashReport* report,
+                      char* out_path = nullptr, std::size_t out_path_cap = 0,
+                      bool force = false) noexcept;
+
+// Extra-section registration: higher layers (vm, core) contribute TLVs the
+// obs layer cannot know about — e.g. the degradation governor's ladder
+// history. `fn` renders the payload into buf (returning bytes used, 0 to
+// skip) and must itself be async-signal-safe. Capacity-bounded; returns
+// false when full. Both pointers must stay valid forever.
+using SectionFn = std::size_t (*)(void* ctx, char* buf, std::size_t cap);
+bool register_section(Tag tag, SectionFn fn, void* ctx) noexcept;
+
+// Fault-injection seam: installed by the vm layer (vm/sys.cc) so
+// DPG_FAULT_INJECT "openat"/"write" plans reach the dump writer without obs
+// depending on vm. The hook returns the errno to inject, or 0 to proceed.
+using IoFaultHook = int (*)(bool is_write);
+void set_io_fault_hook(IoFaultHook hook) noexcept;
+
+// Diagnostics (exported as dpg_crash_dumps_{written,failed} counters).
+[[nodiscard]] std::uint64_t dumps_written() noexcept;
+[[nodiscard]] std::uint64_t dumps_failed() noexcept;
+
+// Renders a histogram snapshot (HistogramHeader + nonzero HistogramBucket
+// records) into buf. Returns bytes used, 0 when it does not fit or the
+// histogram is empty. Async-signal-safe. Exposed for the bucket-edge tests.
+std::size_t encode_histogram(const LatencyHistogram& h, const char* name,
+                             char* buf, std::size_t cap) noexcept;
+
+}  // namespace dpg::obs::dump

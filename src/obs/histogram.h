@@ -75,6 +75,11 @@ class LatencyHistogram {
     max_.store(0, std::memory_order_relaxed);
   }
 
+  // Raw bucket count, for snapshot serialization (crash dumps) and tests.
+  [[nodiscard]] std::uint64_t bucket_count(unsigned i) const noexcept {
+    return i < kBuckets ? buckets_[i].load(std::memory_order_relaxed) : 0;
+  }
+
   // --- bucket geometry (exposed for tests) ---
 
   [[nodiscard]] static constexpr unsigned bucket_index(

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/dump.h"
 #include "obs/env.h"
 #include "obs/fmt.h"
 
@@ -58,7 +59,7 @@ constexpr const char* kHistNames[static_cast<unsigned>(Hist::kCount)] = {
 
 // --- counter registry ------------------------------------------------------
 
-constexpr std::size_t kMaxCounters = 64;
+constexpr std::size_t kMaxCounters = 96;
 
 struct NamedCounter {
   const char* name = nullptr;
@@ -99,10 +100,26 @@ void set_path(char* dst, std::atomic<bool>& flag, const char* src) noexcept {
   flag.store(true, std::memory_order_release);
 }
 
-void on_sigusr1(int) {
+// Previous SIGUSR1 disposition, chained after our dump so embedding
+// applications keep their own handler (audited: before this, sigaction below
+// silently dropped it).
+struct sigaction g_prev_usr1 {};
+bool g_prev_usr1_valid = false;
+
+void on_sigusr1(int signo, siginfo_t* info, void* uctx) {
   const int saved_errno = errno;
   dump_metrics("sigusr1");
   errno = saved_errno;
+  if (!g_prev_usr1_valid) return;
+  if ((g_prev_usr1.sa_flags & SA_SIGINFO) != 0) {
+    if (g_prev_usr1.sa_sigaction != nullptr) {
+      g_prev_usr1.sa_sigaction(signo, info, uctx);
+    }
+  } else if (g_prev_usr1.sa_handler != SIG_IGN &&
+             g_prev_usr1.sa_handler != SIG_DFL &&
+             g_prev_usr1.sa_handler != nullptr) {
+    g_prev_usr1.sa_handler(signo);
+  }
 }
 
 void dump_at_exit() { dump_metrics("atexit"); }
@@ -211,6 +228,9 @@ bool register_counter_fn(const char* name, CounterFn fn,
 void init_from_env() noexcept {
   static std::once_flag once;
   std::call_once(once, [] {
+    // Arm the crash-dump writer alongside the exporter so every engine
+    // constructor's init_from_env() also honors DPG_REPORT_DIR.
+    dump::init_from_env();
     // Respect an earlier set_trace_enabled() override.
     int expected = 0;
     const int mode = env_flag("DPG_TRACE", false) ? 2 : 1;
@@ -222,10 +242,16 @@ void init_from_env() noexcept {
     set_path(g_json_path, g_json_path_set, path);
     std::atexit(dump_at_exit);
     struct sigaction sa{};
-    sa.sa_handler = on_sigusr1;
-    sa.sa_flags = SA_RESTART;
+    sa.sa_sigaction = on_sigusr1;
+    sa.sa_flags = SA_RESTART | SA_SIGINFO;
     sigemptyset(&sa.sa_mask);
-    sigaction(SIGUSR1, &sa, nullptr);
+    // The SIGUSR2 crash-snapshot handler (obs/dump.cc) and this metrics dump
+    // both walk the registries; cross-block so the two never interleave. The
+    // atexit exporter is already covered by g_dump_lock's skip-if-busy.
+    sigaddset(&sa.sa_mask, SIGUSR2);
+    if (sigaction(SIGUSR1, &sa, &g_prev_usr1) == 0) {
+      g_prev_usr1_valid = true;
+    }
     const long interval_ms =
         env_long("DPG_METRICS_INTERVAL_MS", 0, 0, 86'400'000);
     if (interval_ms > 0) {
@@ -353,6 +379,30 @@ bool dump_metrics(const char* reason) noexcept {
   }
   g_dump_lock.clear(std::memory_order_release);
   return ok;
+}
+
+std::size_t counter_count() noexcept {
+  return g_counter_count.load(std::memory_order_acquire);
+}
+
+const char* counter_name(std::size_t i) noexcept {
+  if (i >= g_counter_count.load(std::memory_order_acquire)) return nullptr;
+  return g_counters[i].name;
+}
+
+std::uint64_t counter_value_at(std::size_t i) noexcept {
+  if (i >= g_counter_count.load(std::memory_order_acquire)) return 0;
+  return counter_value(g_counters[i]);
+}
+
+std::size_t trace_ring_count() noexcept {
+  const unsigned n = g_thread_count.load(std::memory_order_relaxed);
+  return n < kMaxRings ? n : kMaxRings;
+}
+
+const TraceRing* trace_ring_at(std::size_t i) noexcept {
+  if (i >= kMaxRings) return nullptr;
+  return g_rings[i].load(std::memory_order_acquire);
 }
 
 }  // namespace dpg::obs

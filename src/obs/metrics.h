@@ -143,4 +143,20 @@ std::size_t render_prometheus(char* buf, std::size_t cap) noexcept;
 // or a dump is already in flight. Async-signal-safe.
 bool dump_metrics(const char* reason) noexcept;
 
+// ---------------------------------------------------------------------------
+// Snapshot iteration (crash-dump writer)
+// ---------------------------------------------------------------------------
+// Read-only, async-signal-safe views over the counter registry and the
+// per-thread trace rings, so obs/dump.cc can serialize them into .dpgcrash
+// TLVs without reaching into this translation unit's internals.
+
+[[nodiscard]] std::size_t counter_count() noexcept;
+[[nodiscard]] const char* counter_name(std::size_t i) noexcept;   // nullptr OOB
+[[nodiscard]] std::uint64_t counter_value_at(std::size_t i) noexcept;
+
+// Registered thread rings, in thread-registration order. Slots may be null
+// (thread not yet published). Count is clamped to the ring-table capacity.
+[[nodiscard]] std::size_t trace_ring_count() noexcept;
+[[nodiscard]] const TraceRing* trace_ring_at(std::size_t i) noexcept;
+
 }  // namespace dpg::obs

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/dump.h"
 #include "obs/env.h"
 #include "obs/metrics.h"
 #include "vm/vm_stats.h"
@@ -76,6 +77,16 @@ void register_injection_counters() noexcept {
                           &rule(Call::kMremap).injected);
     obs::register_counter("dpg_fault_injected_ftruncate",
                           &rule(Call::kFtruncate).injected);
+    obs::register_counter("dpg_fault_injected_openat",
+                          &rule(Call::kOpenAt).injected);
+    obs::register_counter("dpg_fault_injected_write",
+                          &rule(Call::kWrite).injected);
+    // Give the crash-dump writer (which lives below this layer) a path to the
+    // same injection plan: DPG_FAULT_INJECT=openat/write clauses reach its
+    // pre-abort IO through this hook.
+    obs::dump::set_io_fault_hook(+[](bool is_write) noexcept -> int {
+      return check_fault(is_write ? Call::kWrite : Call::kOpenAt);
+    });
     return true;
   }();
   (void)registered;
@@ -135,7 +146,8 @@ struct ErrnoName {
 constexpr ErrnoName kErrnoNames[] = {
     {"ENOMEM", ENOMEM}, {"EINTR", EINTR},   {"EAGAIN", EAGAIN},
     {"EACCES", EACCES}, {"EMFILE", EMFILE}, {"ENFILE", ENFILE},
-    {"EEXIST", EEXIST}, {"EINVAL", EINVAL},
+    {"EEXIST", EEXIST}, {"EINVAL", EINVAL}, {"EIO", EIO},
+    {"ENOSPC", ENOSPC},  // EIO/ENOSPC: the crash-dump writer's openat/write
 };
 
 struct ParsedRule {
@@ -220,6 +232,8 @@ struct ParsedRule {
   else if (token_eq(begin, end, "ftruncate")) *out = Call::kFtruncate;
   else if (token_eq(begin, end, "memfd_create") || token_eq(begin, end, "memfd"))
     *out = Call::kMemfd;
+  else if (token_eq(begin, end, "openat")) *out = Call::kOpenAt;
+  else if (token_eq(begin, end, "write")) *out = Call::kWrite;
   else return false;
   return true;
 }
@@ -301,9 +315,16 @@ const char* call_name(Call c) noexcept {
     case Call::kMremap: return "mremap";
     case Call::kFtruncate: return "ftruncate";
     case Call::kMemfd: return "memfd_create";
+    case Call::kOpenAt: return "openat";
+    case Call::kWrite: return "write";
     case Call::kCount: break;
   }
   return "?";
+}
+
+int check_fault(Call c) noexcept {
+  init_fault_plan_from_env();
+  return fault_check(c);
 }
 
 bool set_fault_plan(const char* spec) noexcept {

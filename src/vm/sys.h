@@ -25,7 +25,8 @@
 //   prob=P     fail each attempt with probability P (deterministic PRNG)
 //   seed=S     PRNG seed for prob (default 1; same seed => same run)
 //   errno=E    errno to inject (ENOMEM, EINTR, EAGAIN, EACCES, EMFILE,
-//              ENFILE, EEXIST, EINVAL, or a number; default ENOMEM)
+//              ENFILE, EEXIST, EINVAL, EIO, ENOSPC, or a number; default
+//              ENOMEM)
 //   count=N    stop after injecting N failures from this clause
 //
 // Injected EINTR exercises the retry loops like the real thing: the wrapper
@@ -48,6 +49,12 @@ enum class Call : unsigned {
   kMremap,
   kFtruncate,
   kMemfd,
+  // IO calls issued by the crash-dump writer (obs/dump.cc). There are no
+  // wrappers here — the writer consults check_fault() through the io-fault
+  // hook this layer installs — but the plan grammar, counters, and
+  // determinism guarantees are identical.
+  kOpenAt,
+  kWrite,
   kCount,
 };
 
@@ -99,6 +106,12 @@ void init_fault_plan_from_env() noexcept;
 
 // True when any clause is armed (after env init).
 [[nodiscard]] bool fault_plan_active() noexcept;
+
+// Consults the active plan for one attempt of `c`: returns the errno to
+// inject, or 0 to let the call proceed. This is the same decision procedure
+// the wrappers use, exposed for callers that issue their own syscalls (the
+// crash-dump writer's openat/write path). Parses the env plan on first use.
+[[nodiscard]] int check_fault(Call c) noexcept;
 
 // Failures injected so far, per syscall / total, and EINTR retries absorbed
 // (injected or real).

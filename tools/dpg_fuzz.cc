@@ -12,12 +12,16 @@
 // default 1; smoke uses fixed seeds), --ops N (trace length; default 10000
 // for --smoke, 2000 otherwise), --out FILE (replay file written on
 // divergence, default dpg_fuzz_failure.dpgf), --oracle-bug (arm the
-// deliberately broken oracle — the known-bad demo).
+// deliberately broken oracle — the known-bad demo), --crash-dump (arm the
+// postmortem writer: a divergence also leaves a .dpgcrash snapshot next to
+// the .dpgf replay, so fuzzer findings flow through the same dpg_report
+// pipeline as production faults).
 //
 // Exit codes: 0 = every run agreed with the oracle; 1 = usage / IO error;
 // 2 = divergence (the seed is printed and, for trace runs, a minimal replay
 // file is written; `dpg_fuzz --replay <file>` reproduces it in one command).
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -27,6 +31,7 @@
 
 #include "fuzz/cross_checks.h"
 #include "fuzz/harness.h"
+#include "obs/dump.h"
 
 namespace {
 
@@ -66,6 +71,16 @@ int report_divergence(const FuzzConfig& cfg, const Trace& trace,
   out.close();
   std::cerr << "replay written: " << out_path << "\n"
             << "reproduce with: " << argv0 << " --replay " << out_path << "\n";
+  // --crash-dump: snapshot the process state (counters, rings, ladder) into
+  // a .dpgcrash beside the replay. Oracle mismatches have no DanglingReport —
+  // the divergence is in bookkeeping, not a trap — so the report is null.
+  if (dpg::obs::dump::enabled()) {
+    char dump_name[128] = {0};
+    if (dpg::obs::dump::write_crash_dump("oracle-mismatch", nullptr, dump_name,
+                                         sizeof dump_name)) {
+      std::cerr << "crash dump written: " << dump_name << "\n";
+    }
+  }
   return 2;
 }
 
@@ -104,6 +119,7 @@ int main(int argc, char** argv) {
   bool full = false;
   bool list = false;
   bool oracle_bug = false;
+  bool crash_dump = false;
   std::string config_name;
   std::string replay_path;
   std::string out_path = "dpg_fuzz_failure.dpgf";
@@ -128,6 +144,8 @@ int main(int argc, char** argv) {
       list = true;
     } else if (arg == "--oracle-bug") {
       oracle_bug = true;
+    } else if (arg == "--crash-dump") {
+      crash_dump = true;
     } else if (arg == "--config") {
       config_name = value();
     } else if (arg == "--replay") {
@@ -142,6 +160,18 @@ int main(int argc, char** argv) {
       n_ops = std::strtoull(value(), nullptr, 0);
     } else {
       return usage(argv[0]);
+    }
+  }
+
+  if (crash_dump && std::getenv("DPG_REPORT_DIR") == nullptr) {
+    // Arm the writer on the replay file's directory so the .dpgcrash lands
+    // next to the .dpgf. An explicit DPG_REPORT_DIR wins (init_from_env).
+    std::string dir = out_path;
+    const std::size_t slash = dir.rfind('/');
+    dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+    if (!dpg::obs::dump::set_report_dir(dir.c_str())) {
+      std::cerr << "cannot arm crash dumps on " << dir << "\n";
+      return 1;
     }
   }
 
