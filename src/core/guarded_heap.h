@@ -177,6 +177,11 @@ class ShadowEngine {
   [[nodiscard]] const GuardCounters& counters() const noexcept {
     return stats_;
   }
+  // Writable counters for companion lanes (core/lockandkey.h) that account
+  // against this engine. Lane writers bump relaxed atomics without the
+  // engine lock: per-counter integrity holds, and the lane's counters have
+  // no cross-counter invariant with the engine's own (see stats.h).
+  [[nodiscard]] GuardCounters& lane_counters() noexcept { return stats_; }
   [[nodiscard]] alloc::MallocLike& underlying() noexcept { return under_; }
 
   static constexpr std::size_t kGuardHeader = sizeof(std::uintptr_t);

@@ -83,6 +83,13 @@ struct GuardStats {
                                            // frees - pending == revoked)
   std::uint64_t remote_frees = 0;         // frees queued cross-shard onto
                                            // the owner's MPSC list
+  std::uint64_t tagged_allocs = 0;        // lock-and-key lane allocations
+                                           // (tag-in-pointer, no shadow
+                                           // alias, no mprotect)
+  std::uint64_t tagged_frees = 0;         // lock-and-key frees that passed
+                                           // the generation check
+  std::uint64_t tag_mismatches = 0;       // lock-and-key detections: pointer
+                                           // tag != slot generation word
   std::size_t live_records = 0;            // live + freed-but-still-guarded
   std::size_t guarded_bytes = 0;           // shadow span bytes currently held
 
@@ -108,6 +115,9 @@ struct GuardStats {
     revoke_coalesced_pages += o.revoke_coalesced_pages;
     revoked_spans += o.revoked_spans;
     remote_frees += o.remote_frees;
+    tagged_allocs += o.tagged_allocs;
+    tagged_frees += o.tagged_frees;
+    tag_mismatches += o.tag_mismatches;
     live_records += o.live_records;
     guarded_bytes += o.guarded_bytes;
     return *this;
@@ -137,6 +147,9 @@ struct GuardCounters {
   alignas(vm::kCacheLine) std::atomic<std::uint64_t> revoke_coalesced_pages{0};
   alignas(vm::kCacheLine) std::atomic<std::uint64_t> revoked_spans{0};
   alignas(vm::kCacheLine) std::atomic<std::uint64_t> remote_frees{0};
+  alignas(vm::kCacheLine) std::atomic<std::uint64_t> tagged_allocs{0};
+  alignas(vm::kCacheLine) std::atomic<std::uint64_t> tagged_frees{0};
+  alignas(vm::kCacheLine) std::atomic<std::uint64_t> tag_mismatches{0};
   alignas(vm::kCacheLine) std::atomic<std::uint64_t> live_records{0};
   alignas(vm::kCacheLine) std::atomic<std::uint64_t> guarded_bytes{0};
 
@@ -165,6 +178,9 @@ struct GuardCounters {
         revoke_coalesced_pages.load(std::memory_order_relaxed);
     s.revoked_spans = revoked_spans.load(std::memory_order_relaxed);
     s.remote_frees = remote_frees.load(std::memory_order_relaxed);
+    s.tagged_allocs = tagged_allocs.load(std::memory_order_relaxed);
+    s.tagged_frees = tagged_frees.load(std::memory_order_relaxed);
+    s.tag_mismatches = tag_mismatches.load(std::memory_order_relaxed);
     s.live_records = static_cast<std::size_t>(
         live_records.load(std::memory_order_relaxed));
     s.guarded_bytes = static_cast<std::size_t>(

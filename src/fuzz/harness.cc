@@ -15,8 +15,10 @@
 #include <unordered_set>
 #include <utility>
 
+#include "alloc/heap.h"
 #include "core/fault_manager.h"
 #include "core/guarded_pool.h"
+#include "core/lockandkey.h"
 #include "core/sharded_heap.h"
 #include "fuzz/oracle.h"
 #include "obs/metrics.h"
@@ -192,6 +194,43 @@ class HeapSut final : public Sut {
   core::ShardedHeap heap_;
 };
 
+// Lock-and-key cell: the whole heap runs on the tag lane — the runtime half
+// of a forced --scheme=tag A/B run. No shadow engine, no mprotect, no shadow
+// VA; detection is the pointer-key-vs-slot-lock comparison at every mediated
+// access and at free. Stats come from a local counter block the lane shares.
+class TagHeapSut final : public Sut {
+ public:
+  explicit TagHeapSut(const FuzzConfig& cfg)
+      : heap_(source_), lane_(heap_, counters_, cfg.tag_bits) {}
+
+  void* malloc(std::size_t size, core::SiteId site) override {
+    return lane_.alloc(size, site);
+  }
+  void free(void* p, core::SiteId site, std::uint32_t) override {
+    lane_.free(p, site);
+  }
+  void* realloc(void* p, std::size_t size, core::SiteId site,
+                std::uint32_t) override {
+    // The lane has no in-place growth: realloc is alloc+free, and the free
+    // performs the same stale-key check a plain free would. (The harness
+    // refills the new object, so no bytes are copied.)
+    void* np = lane_.alloc(size, site);
+    if (np == nullptr) return nullptr;
+    lane_.free(p, site);
+    return np;
+  }
+  void flush() override {}  // no revocation queues on this lane
+  bool revocation_applied(const void*, std::uint32_t) override { return true; }
+  core::GuardMode mode() const override { return core::GuardMode::kFullGuard; }
+  core::GuardStats stats() override { return counters_.snapshot(); }
+
+ private:
+  alloc::MmapSource source_;
+  alloc::SegregatedHeap heap_;
+  core::GuardCounters counters_;
+  core::LockAndKeyLane lane_;
+};
+
 class PoolSut final : public Sut {
  public:
   explicit PoolSut(const FuzzConfig& cfg) : gov_(governor_config(cfg)) {
@@ -274,14 +313,29 @@ Outcome classify_outcome(const std::optional<core::DanglingReport>& rep) {
   switch (rep->kind) {
     case core::AccessKind::kFree: return Outcome::kReportDoubleFree;
     case core::AccessKind::kInvalidFree: return Outcome::kReportInvalidFree;
+    case core::AccessKind::kTagMismatch: return Outcome::kReportTagMismatch;
     default: return Outcome::kTrap;
   }
 }
 
 Guardness classify_guard(const void* p, core::GuardMode mode) {
+  if (core::LockAndKeyLane::is_tagged(reinterpret_cast<std::uint64_t>(p))) {
+    return Guardness::kTagged;
+  }
   if (core::ShadowEngine::record_of(p) != nullptr) return Guardness::kGuarded;
   return mode == core::GuardMode::kUnguarded ? Guardness::kPassthrough
                                              : Guardness::kQuarantined;
+}
+
+// Strips and key-checks a tag-lane pointer before a raw access; pointers
+// from the other lanes pass through untouched. Must run inside
+// catch_dangling — a stale key raises.
+unsigned char* resolve(void* p) {
+  const auto a = reinterpret_cast<std::uint64_t>(p);
+  if (core::LockAndKeyLane::is_tagged(a)) {
+    return static_cast<unsigned char*>(core::LockAndKeyLane::check_access(a));
+  }
+  return static_cast<unsigned char*>(p);
 }
 
 // Executor-side runtime state per object id.
@@ -299,6 +353,7 @@ struct ExecResult {
 };
 
 std::unique_ptr<Sut> make_sut(const FuzzConfig& cfg) {
+  if (cfg.tag_lane) return std::make_unique<TagHeapSut>(cfg);
   if (cfg.mode == HarnessMode::kPool) return std::make_unique<PoolSut>(cfg);
   return std::make_unique<HeapSut>(cfg);
 }
@@ -324,9 +379,15 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
   std::uint64_t quarantined_frees = 0;
   std::uint64_t observed_df = 0;
   std::uint64_t observed_if = 0;
+  std::uint64_t tagged_allocs = 0;
+  std::uint64_t tagged_frees = 0;
+  std::uint64_t observed_tm_free = 0;    // stale tagged frees (engine counter)
+  std::uint64_t observed_tm_access = 0;  // stale tagged loads/stores (process)
 
   const std::uint64_t detections_before =
       core::FaultManager::instance().detections();
+  const std::uint64_t access_mm_before =
+      core::LockAndKeyLane::access_mismatches();
 
   {
     std::unique_ptr<Sut> sut = make_sut(cfg);
@@ -419,14 +480,20 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
 
       const Oracle::MObj* model = oracle.find(op.obj);
       // Introspect the SUT only where the prediction depends on it: probes
-      // of freed guarded objects.
+      // of freed guarded objects (revocation state) and freed tagged objects
+      // (key-vs-lock state — false exactly when the stale use will report).
       bool revoked = false;
-      if (model != nullptr && model->phase == Phase::kFreed &&
-          model->guard == Guardness::kGuarded) {
+      bool tag_ok = false;
+      if (model != nullptr && model->phase == Phase::kFreed) {
         const ObjRt& o = rt.at(op.obj);
-        revoked = sut->revocation_applied(o.ptr, o.pool);
+        if (model->guard == Guardness::kGuarded) {
+          revoked = sut->revocation_applied(o.ptr, o.pool);
+        } else if (model->guard == Guardness::kTagged) {
+          tag_ok = core::LockAndKeyLane::tag_matches(
+              reinterpret_cast<std::uint64_t>(o.ptr));
+        }
       }
-      const Prediction pred = oracle.predict(op, revoked);
+      const Prediction pred = oracle.predict(op, revoked, tag_ok);
       if (!pred.execute) {
         ++res.skipped;
         continue;
@@ -456,7 +523,7 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
             finish(core::catch_dangling([&] {
               void* p = sut->malloc(op.size, op.obj);
               r.new_ptr = p;
-              if (p != nullptr) std::memset(p, byte, op.size);
+              if (p != nullptr) std::memset(resolve(p), byte, op.size);
             }));
           };
           break;
@@ -466,7 +533,7 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
           job = [&] {
             finish(core::catch_dangling([&] {
               r.value = *reinterpret_cast<volatile unsigned char*>(
-                  static_cast<unsigned char*>(tgt->ptr) + off);
+                  resolve(tgt->ptr) + off);
             }));
           };
           break;
@@ -481,10 +548,10 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
           job = [&] {
             finish(core::catch_dangling([&] {
               if (live_write) {
-                std::memset(tgt->ptr, byte, tgt->size);
+                std::memset(resolve(tgt->ptr), byte, tgt->size);
               } else {
                 *reinterpret_cast<volatile unsigned char*>(
-                    static_cast<unsigned char*>(tgt->ptr) + off) = byte;
+                    resolve(tgt->ptr) + off) = byte;
               }
             }));
           };
@@ -511,7 +578,7 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
             finish(core::catch_dangling([&] {
               void* np = sut->realloc(tgt->ptr, op.size, op.obj2, tgt->pool);
               r.new_ptr = np;
-              if (np != nullptr) std::memset(np, byte, op.size);
+              if (np != nullptr) std::memset(resolve(np), byte, op.size);
             }));
           };
           break;
@@ -526,6 +593,16 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
       execute(op.thread, job);
       ++res.executed;
       note_outcome(r);
+      if (r.outcome == Outcome::kReportTagMismatch) {
+        // Free-path mismatches land in the engine counter block; access-path
+        // ones in the lane's process-wide counter. Track both for the
+        // end-of-run invariants.
+        if (op.kind == OpKind::kFree || op.kind == OpKind::kDoubleFree) {
+          ++observed_tm_free;
+        } else {
+          ++observed_tm_access;
+        }
+      }
 
       // 1. Outcome must be exactly what the oracle permits.
       if (!pred.permits(r.outcome)) {
@@ -544,9 +621,13 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
             << ", want 0x" << unsigned{expect_fill} << ") — " << pred.why;
           diverge(idx, d.str());
         }
-        // 3. Report precision.
+        // 3. Report precision. Tag-lane reports carry no alloc site (the
+        // slot header describes the current generation's owner, not the
+        // stale pointer's), but the object base must still be the probed
+        // pointer.
         if (rt.count(op.obj) != 0 && model != nullptr &&
-            model->guard == Guardness::kGuarded) {
+            (model->guard == Guardness::kGuarded ||
+             model->guard == Guardness::kTagged)) {
           check_precision(idx, op, rt.at(op.obj), r);
         }
       }
@@ -564,6 +645,8 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
             const std::uint32_t pool = sut->current_pool();
             if (g == Guardness::kGuarded) {
               ++guarded_allocs;
+            } else if (g == Guardness::kTagged) {
+              ++tagged_allocs;
             } else {
               ++degraded_allocs;
             }
@@ -578,6 +661,8 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
               ++guarded_frees;  // phase was live: the CAS admitted this free
             } else if (model->guard == Guardness::kQuarantined) {
               ++quarantined_frees;  // live free AND absorbed double free
+            } else if (model->guard == Guardness::kTagged) {
+              ++tagged_frees;  // the key matched: the lock advanced
             }
             oracle.on_free(op.obj);
           }
@@ -593,12 +678,16 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
               ++guarded_frees;
             } else if (model->guard == Guardness::kQuarantined) {
               ++quarantined_frees;
+            } else if (model->guard == Guardness::kTagged) {
+              ++tagged_frees;
             }
             oracle.on_free(op.obj);
             const Guardness g = classify_guard(r.new_ptr, sut->mode());
             const std::uint32_t pool = rt.at(op.obj).pool;
             if (g == Guardness::kGuarded) {
               ++guarded_allocs;
+            } else if (g == Guardness::kTagged) {
+              ++tagged_allocs;
             } else {
               ++degraded_allocs;
             }
@@ -644,6 +733,29 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
                               " did not trap (" + outcome_name(r.outcome) +
                               ")");
         }
+      } else if (o.guard == Guardness::kTagged) {
+        // Exactness modulo the wrap window: a stale key MUST report; a
+        // wrapped key is the documented tag reuse window — the one precision
+        // hole this lane concedes, so nothing is asserted there.
+        if (core::LockAndKeyLane::tag_matches(
+                reinterpret_cast<std::uint64_t>(ro.ptr))) {
+          continue;
+        }
+        ExecResult r;
+        auto rep = core::catch_dangling([&] {
+          r.value = *reinterpret_cast<volatile unsigned char*>(
+              resolve(ro.ptr));
+        });
+        r.outcome = classify_outcome(rep);
+        if (rep.has_value()) r.report = *rep;
+        note_outcome(r);
+        if (r.outcome == Outcome::kReportTagMismatch) {
+          ++observed_tm_access;
+        } else {
+          diverge(kSweep, "sweep: stale tagged read of obj " +
+                              std::to_string(id) + " did not report (" +
+                              outcome_name(r.outcome) + ")");
+        }
       } else if (o.guard == Guardness::kQuarantined) {
         // Suspension, not falsification: the quarantined block still holds
         // the object's last fill — it was never handed to a new owner.
@@ -679,6 +791,11 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
     expect_eq(st.invalid_frees, observed_if, "stats.invalid_frees");
     expect_eq(st.quarantined_frees, quarantined_frees,
               "stats.quarantined_frees");
+    expect_eq(st.tagged_allocs, tagged_allocs, "stats.tagged_allocs");
+    expect_eq(st.tagged_frees, tagged_frees, "stats.tagged_frees");
+    expect_eq(st.tag_mismatches, observed_tm_free, "stats.tag_mismatches");
+    expect_eq(core::LockAndKeyLane::access_mismatches() - access_mm_before,
+              observed_tm_access, "lane access mismatches");
     if (cfg.fault_plan.empty()) {
       // With no injected mprotect/mmap refusals every admitted free ends as
       // a revoked span once the queues are flushed.
@@ -757,6 +874,13 @@ std::vector<FuzzConfig> smoke_matrix(std::size_t n_ops) {
     c.gen.pools = true;
     v.push_back(c);
   }
+  {
+    // Lock-and-key lane at full tag width: stale uses report synchronously,
+    // generation wraps essentially never occur.
+    FuzzConfig c = base("tag-lane");
+    c.tag_lane = true;
+    v.push_back(c);
+  }
   return v;
 }
 
@@ -802,6 +926,15 @@ std::vector<FuzzConfig> matrix(std::size_t n_ops) {
     FuzzConfig c = base("forced-unguarded");
     c.forced_mode = 2;  // core::GuardMode::kUnguarded
     c.gen.plant_bugs = false;  // probing a plain heap would be UB, not a test
+    v.push_back(c);
+  }
+  {
+    // 2-bit generations (locks cycle 1..3): slot churn wraps the counter
+    // constantly, so stale probes land inside the tag reuse window often —
+    // the wrap branch of the oracle is exercised, not just documented.
+    FuzzConfig c = base("tag-wrap2");
+    c.tag_lane = true;
+    c.tag_bits = 2;
     v.push_back(c);
   }
   return v;

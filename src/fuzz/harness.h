@@ -54,10 +54,12 @@ struct RunResult {
 
 // The full config matrix (ISSUE 5): magazines on/off x protect_batch
 // {0,16,4k-bytes} x 1/4 shards x fault-injection plans x degradation
-// forced/off x heap/pool modes. `n_ops` sizes every cell's generator.
+// forced/off x heap/pool modes x the lock-and-key tag lane (full-width and
+// wrap-forcing 2-bit cells). `n_ops` sizes every cell's generator.
 [[nodiscard]] std::vector<FuzzConfig> matrix(std::size_t n_ops);
 
-// The bounded 6-config subset the ctest `fuzz` label runs.
+// The bounded 7-config subset the ctest `fuzz` label runs (includes one
+// tag-lane cell).
 [[nodiscard]] std::vector<FuzzConfig> smoke_matrix(std::size_t n_ops);
 
 // ddmin-style shrinker: returns the smallest subsequence of `trace.ops`

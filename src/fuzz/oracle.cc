@@ -8,6 +8,7 @@ const char* outcome_name(Outcome o) noexcept {
     case Outcome::kTrap: return "trap";
     case Outcome::kReportDoubleFree: return "double-free-report";
     case Outcome::kReportInvalidFree: return "invalid-free-report";
+    case Outcome::kReportTagMismatch: return "tag-mismatch-report";
     case Outcome::kSkipped: return "skipped";
   }
   return "?";
@@ -86,9 +87,17 @@ Prediction report_invalid_free(const char* why) {
   return p;
 }
 
+Prediction report_tag_mismatch(const char* why) {
+  Prediction p;
+  p.allow_tag_mismatch = true;
+  p.why = why;
+  return p;
+}
+
 }  // namespace
 
-Prediction Oracle::predict(const Op& op, bool revocation_applied) const {
+Prediction Oracle::predict(const Op& op, bool revocation_applied,
+                           bool tag_matches) const {
   switch (op.kind) {
     case OpKind::kMalloc:
     case OpKind::kFlush:
@@ -135,6 +144,14 @@ Prediction Oracle::predict(const Op& op, bool revocation_applied) const {
           // The block may have been recycled: the read must not trap, but
           // no value is promised.
           return silent("freed unguarded read");
+        case Guardness::kTagged:
+          // Lock-and-key: a stale key disagrees with the slot's lock — exact
+          // synchronous report, no batching window. After a generation wrap
+          // the key matches again (tag reuse window): silent, and no value
+          // is promised (the slot may hold a new owner's bytes).
+          return tag_matches
+                     ? silent("freed tagged read inside tag reuse window")
+                     : report_tag_mismatch("freed tagged read, stale key");
       }
       break;
 
@@ -152,6 +169,12 @@ Prediction Oracle::predict(const Op& op, bool revocation_applied) const {
         case Guardness::kPassthrough:
           // Writing a possibly-recycled block would corrupt a live object.
           return skip("freed unguarded write");
+        case Guardness::kTagged:
+          // Inside the reuse window the slot may already belong to a new
+          // owner — writing would corrupt it, so the probe is skipped.
+          return tag_matches
+                     ? skip("freed tagged write inside tag reuse window")
+                     : report_tag_mismatch("freed tagged write, stale key");
       }
       break;
 
@@ -170,11 +193,24 @@ Prediction Oracle::predict(const Op& op, bool revocation_applied) const {
           return silent("degraded double free absorbed");
         case Guardness::kPassthrough:
           return skip("unguarded double free (heap UB)");
+        case Guardness::kTagged:
+          // A stale free fails the key check exactly; the lane reports one
+          // kind (it cannot tell double free from UAF-free). Inside the
+          // reuse window the free would pass the check and re-free the
+          // slot under its current owner, so it is skipped like heap UB.
+          return tag_matches
+                     ? skip("freed tagged free inside tag reuse window")
+                     : report_tag_mismatch("stale tagged free");
       }
       break;
 
     case OpKind::kInvalidFree:
       if (!live) return skip("interior free needs a live object");
+      if (o->guard == Guardness::kTagged) {
+        // Interior pointer: no readable slot header before payload+off, so
+        // the magic check fails deterministically.
+        return report_invalid_free("interior pointer free (tagged)");
+      }
       if (o->guard != Guardness::kGuarded) {
         // A degraded interior pointer is quarantined as garbage (absorbed);
         // exercising that would make quarantine byte-accounting depend on

@@ -21,6 +21,15 @@
 //                     no value guarantee. Probe ops that would be undefined
 //                     behaviour on a plain heap (double free, freed write)
 //                     are not executed at all.
+//   lock-and-key      (tag_lane configs) a freed object's use MUST raise a
+//                     tag-mismatch report synchronously — no batching window
+//                     exists on this lane — UNLESS the slot's generation has
+//                     wrapped back to the pointer's key (the tag reuse
+//                     window, introspected via LockAndKeyLane::tag_matches):
+//                     then reads are silent with no value promise and
+//                     mutating ops are skipped (the slot may belong to a new
+//                     owner). This mirrors the lane's documented precision
+//                     trade exactly.
 //
 // Whether a guarded free's revocation has been applied is not modelled — it
 // is *introspected* from the real stack (ShadowEngine::revocation_applied)
@@ -39,8 +48,14 @@
 namespace dpg::fuzz {
 
 // Guardedness the real stack assigned to an allocation (executor feedback:
-// registry record present -> kGuarded; else the governor rung at return).
-enum class Guardness : std::uint8_t { kGuarded, kQuarantined, kPassthrough };
+// tagged pointer -> kTagged (lock-and-key lane); registry record present ->
+// kGuarded; else the governor rung at return).
+enum class Guardness : std::uint8_t {
+  kGuarded,
+  kQuarantined,
+  kPassthrough,
+  kTagged,
+};
 
 enum class Phase : std::uint8_t { kLive, kFreed, kReleased };
 
@@ -50,6 +65,8 @@ enum class Outcome : std::uint8_t {
   kTrap,               // hardware trap (or software access report)
   kReportDoubleFree,   // software report, AccessKind::kFree
   kReportInvalidFree,  // software report, AccessKind::kInvalidFree
+  kReportTagMismatch,  // software report, AccessKind::kTagMismatch (the
+                       // lock-and-key lane's stale access or stale free)
   kSkipped,            // executor did not run the op (predicted.execute=false)
 };
 
@@ -63,6 +80,7 @@ struct Prediction {
   bool allow_trap = false;
   bool allow_double_free = false;
   bool allow_invalid_free = false;
+  bool allow_tag_mismatch = false;
   // With allow_silent on a read: the byte read MUST equal fill (stale-but-
   // unreused for freed objects — the revoked-then-reused detector).
   bool check_stale = false;
@@ -74,6 +92,7 @@ struct Prediction {
       case Outcome::kTrap: return allow_trap;
       case Outcome::kReportDoubleFree: return allow_double_free;
       case Outcome::kReportInvalidFree: return allow_invalid_free;
+      case Outcome::kReportTagMismatch: return allow_tag_mismatch;
       case Outcome::kSkipped: return !execute;
     }
     return false;
@@ -105,8 +124,14 @@ class Oracle {
 
   // The exact permitted outcome for `op` given the current model state.
   // `revocation_applied` is the introspected SUT state for the target object
-  // (ignored unless the op acts on a freed guarded object).
-  [[nodiscard]] Prediction predict(const Op& op, bool revocation_applied) const;
+  // (ignored unless the op acts on a freed guarded object). `tag_matches` is
+  // the introspected lock-and-key state (LockAndKeyLane::tag_matches) for a
+  // freed *tagged* object: false -> the stale use reports exactly; true ->
+  // the pointer sits inside the tag reuse window after a generation wrap
+  // (the lane's documented precision trade), so reads are silent with no
+  // value promise and mutating ops are skipped.
+  [[nodiscard]] Prediction predict(const Op& op, bool revocation_applied,
+                                   bool tag_matches = false) const;
 
   // --- state advancement (executor feedback) -------------------------------
   // Registers a successful allocation with the guardedness the stack chose.

@@ -187,6 +187,8 @@ std::string to_replay(const FuzzConfig& cfg, const Trace& trace) {
   out << "fault " << (cfg.fault_plan.empty() ? "-" : cfg.fault_plan) << "\n";
   out << "forced_mode " << cfg.forced_mode << "\n";
   out << "oracle_bug " << (cfg.oracle_bug ? 1 : 0) << "\n";
+  out << "tag_lane " << (cfg.tag_lane ? 1 : 0) << "\n";
+  out << "tag_bits " << cfg.tag_bits << "\n";
   out << "seed " << trace.seed << "\n";
   out << "lanes " << trace.lanes << "\n";
   out << "ops " << trace.ops.size() << "\n";
@@ -244,6 +246,12 @@ bool from_replay(const std::string& text, FuzzConfig* cfg, Trace* trace,
       int v = 0;
       in >> v;
       c.oracle_bug = v != 0;
+    } else if (tag == "tag_lane") {
+      int v = 0;
+      in >> v;
+      c.tag_lane = v != 0;
+    } else if (tag == "tag_bits") {
+      in >> c.tag_bits;
     } else if (tag == "seed") {
       in >> t.seed;
     } else if (tag == "lanes") {

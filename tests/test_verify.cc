@@ -136,5 +136,88 @@ TEST(Verify, CleanModuleProducesNoDiagnostics) {
   EXPECT_TRUE(verify_module(parse_module("func main() { ret }")).empty());
 }
 
+// --- SiteScheme table (the scheme-selection contract, DESIGN.md §14) ------
+
+bool has_problem(const std::vector<std::string>& problems,
+                 const char* needle) {
+  for (const std::string& p : problems) {
+    if (p.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// kFigure1 transformed: MAY-UAF, so its sites carry kPageGuard schemes.
+Module transformed_figure1() {
+  Module m = pool_allocate(parse_module(dpg::testing::kFigure1)).module;
+  EXPECT_FALSE(m.site_scheme.empty());
+  return m;
+}
+
+TEST(Verify, SchemeTableRejectsUnknownVersion) {
+  Module m = transformed_figure1();
+  m.site_scheme_version = kSiteSchemeVersion + 1;
+  EXPECT_TRUE(has_problem(verify_module(m),
+                          "unsupported site_scheme table version"));
+}
+
+TEST(Verify, SchemeTableRejectsDuplicateEntry) {
+  Module m = transformed_figure1();
+  m.site_scheme.push_back(m.site_scheme.front());
+  EXPECT_TRUE(
+      has_problem(verify_module(m), "conflicting duplicate site entry"));
+}
+
+TEST(Verify, SchemeTableRejectsPhantomSite) {
+  Module m = transformed_figure1();
+  SiteSchemeEntry ghost = m.site_scheme.front();
+  ghost.site = 9999;
+  m.site_scheme.push_back(ghost);
+  EXPECT_TRUE(
+      has_problem(verify_module(m), "site does not exist in the module"));
+}
+
+TEST(Verify, SchemeTableRejectsKindDisagreement) {
+  Module m = transformed_figure1();
+  m.site_scheme.front().is_free = !m.site_scheme.front().is_free;
+  EXPECT_TRUE(has_problem(verify_module(m),
+                          "alloc/free kind disagrees with the instruction"));
+}
+
+TEST(Verify, SchemeTableRejectsMissingSite) {
+  Module m = transformed_figure1();
+  m.site_scheme.pop_back();
+  EXPECT_TRUE(has_problem(verify_module(m),
+                          "alloc/free site missing from the scheme table"));
+}
+
+TEST(Verify, SchemeTableRejectsNodeMixingSchemes) {
+  Module m = transformed_figure1();
+  // Flip one page-guard entry to the tag lane while its node partners stay:
+  // a tagged pointer would reach the page-guard free path.
+  m.site_scheme.front().scheme = SiteScheme::kLockAndKey;
+  EXPECT_TRUE(has_problem(verify_module(m), "node mixes detection schemes"));
+}
+
+TEST(Verify, SchemeTableRejectsUnguardedOnUnprovenSite) {
+  Module m = transformed_figure1();
+  for (SiteSchemeEntry& entry : m.site_scheme) {
+    entry.scheme = SiteScheme::kUnguarded;  // uniform, so no mixing noise
+  }
+  EXPECT_TRUE(has_problem(verify_module(m),
+                          "unguarded scheme on a site not proven SAFE"));
+}
+
+TEST(Verify, SchemeTableRejectsTagLaneOnElidedSite) {
+  // kTwoPools is SAFE end to end: every site is elided and kUnguarded.
+  Module m = pool_allocate(parse_module(dpg::testing::kTwoPools)).module;
+  ASSERT_FALSE(m.site_scheme.empty());
+  ASSERT_TRUE(m.site_scheme.front().scheme == SiteScheme::kUnguarded);
+  for (SiteSchemeEntry& entry : m.site_scheme) {
+    entry.scheme = SiteScheme::kLockAndKey;
+  }
+  EXPECT_TRUE(has_problem(verify_module(m),
+                          "lock-and-key lane on a SAFE-elided site"));
+}
+
 }  // namespace
 }  // namespace dpg::compiler

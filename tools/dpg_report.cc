@@ -50,9 +50,10 @@ constexpr int kExitCorrupt = 3;
 // Numeric values mirror core::AccessKind (the dump stores the raw value; the
 // analyzer links only dpg_obs, so the names are duplicated here on purpose).
 const char* kind_name(std::uint32_t k) {
-  static const char* names[] = {"read",         "write",    "double-free",
-                                "invalid-free", "overflow", "access"};
-  return k < 6 ? names[k] : "?";
+  static const char* names[] = {"read",     "write",  "double-free",
+                                "invalid-free", "overflow", "access",
+                                "tag-mismatch"};
+  return k < 7 ? names[k] : "?";
 }
 
 // Mirrors core::GuardMode.
