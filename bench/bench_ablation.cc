@@ -235,6 +235,21 @@ int main() {
   // loop looks like while the kernel intermittently refuses mmap. Sticky
   // governors (recover_after = 0) keep the forced rung from healing mid-run.
   std::printf("\n--- degradation ladder (core/degrade.h) ---\n");
+  // The sampled rung's overhead-vs-detection dial: 1-in-N allocations pay
+  // the full guard, the rest take the ledgered fast path. N=1 must read like
+  // full guarding; large N must approach the unguarded floor while double
+  // frees stay exactly detected (sample_rate_max == N keeps N pinned).
+  for (const std::size_t n : {std::size_t{1}, std::size_t{8}, std::size_t{64},
+                              std::size_t{512}}) {
+    core::DegradationGovernor gov(
+        {.recover_after = 0, .sample_rate = n, .sample_rate_max = n});
+    gov.force_mode(core::GuardMode::kSampled);
+    core::GuardConfig cfg = base;
+    cfg.governor = &gov;
+    char label[64];
+    std::snprintf(label, sizeof label, "forced sampled 1-in-%zu", n);
+    row(label, churn(cfg, 64));
+  }
   {
     core::DegradationGovernor gov({.recover_after = 0});
     gov.force_mode(core::GuardMode::kQuarantineOnly);

@@ -1,0 +1,77 @@
+// bench_soak — throughput view of the endurance workload (DESIGN.md §15).
+//
+// Same steady-state mix as tools/dpg_soak (heap churn + pool cycles +
+// cross-thread frees + one fault pulse), run short and reported as a bench:
+// sustained ops/s, gauge plateaus, and the drift fit per series. Where
+// dpg_soak is the gate, this is the number you watch when tuning the
+// recycling layers — a change that keeps the gate green but halves sustained
+// throughput shows up here.
+//
+// Usage: bench_soak [--seconds N] [--threads N] [--sample-rate N] [--no-inject]
+// Exit: 0 on success (the drift verdict is printed, not enforced), 3 on
+// internal error — gating belongs to dpg_soak/CI.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "soak/soak.h"
+
+int main(int argc, char** argv) {
+  dpg::soak::SoakConfig cfg;
+  cfg.seconds = 10;
+  cfg.interval_ms = 250;
+  cfg.warmup_samples = 4;
+  cfg.snapshots = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_u64 = [&](std::uint64_t* out) {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      *out = std::strtoull(argv[++i], &end, 0);
+      return end != argv[i] && *end == '\0';
+    };
+    std::uint64_t v = 0;
+    if (arg == "--seconds" && next_u64(&v) && v != 0) {
+      cfg.seconds = v;
+    } else if (arg == "--threads" && next_u64(&v) && v != 0 && v <= 64) {
+      cfg.threads = static_cast<std::uint32_t>(v);
+    } else if (arg == "--sample-rate" && next_u64(&v)) {
+      cfg.sample_rate = v;
+    } else if (arg == "--no-inject") {
+      cfg.inject_faults = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_soak [--seconds N] [--threads N] "
+                   "[--sample-rate N] [--no-inject]\n");
+      return 1;
+    }
+  }
+
+  dpg::soak::SoakResult res;
+  try {
+    res = dpg::soak::run_soak(cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_soak: internal error: %s\n", e.what());
+    return 3;
+  }
+
+  const double secs = static_cast<double>(res.wall_ms) / 1000.0;
+  std::printf("bench_soak: %u threads, %.1fs wall\n", cfg.threads, secs);
+  std::printf("  sustained: %.0f ops/s (%llu ops)\n",
+              secs != 0 ? static_cast<double>(res.ops) / secs : 0.0,
+              static_cast<unsigned long long>(res.ops));
+  std::printf("  ladder: %llu demotions / %llu recoveries, %llu widens / "
+              "%llu tightens\n",
+              static_cast<unsigned long long>(res.demotions),
+              static_cast<unsigned long long>(res.recoveries),
+              static_cast<unsigned long long>(res.sample_widens),
+              static_cast<unsigned long long>(res.sample_tightens));
+  for (const auto& d : res.drifts) {
+    std::printf("  %-18s first %9.0f last %9.0f rel-drift %7.2f%%%s\n",
+                d.name.c_str(), d.first, d.last, 100.0 * d.relative_drift,
+                d.gated ? (d.failed ? "  [would FAIL gate]" : "  [flat]")
+                        : "");
+  }
+  return 0;
+}

@@ -36,7 +36,28 @@ Interpreter::Interpreter(const Module& module, InterpOptions options)
   }
   globals_.assign(module_.globals.size(), 0);
   if (opts_.backend == Backend::kGuarded) {
-    ctx_ = std::make_unique<core::GuardedPoolContext>();
+    core::GuardConfig cfg;
+    if (opts_.forced_rung >= 0 || opts_.sample_rate != 0) {
+      // A/B rung pinning: a private governor keeps the run isolated from
+      // process-wide ladder state in both directions.
+      core::GovernorConfig gov_cfg;
+      // recover_after = 0 disables upward hysteresis, so a pinned rung never
+      // drifts. With --sample-rate alone the ladder stays adaptive.
+      if (opts_.forced_rung >= 0) gov_cfg.recover_after = 0;
+      if (opts_.sample_rate != 0) {
+        gov_cfg.sample_rate = opts_.sample_rate;
+        if (gov_cfg.sample_rate_max < opts_.sample_rate) {
+          gov_cfg.sample_rate_max = opts_.sample_rate;
+        }
+      }
+      governor_ = std::make_unique<core::DegradationGovernor>(gov_cfg);
+      if (opts_.forced_rung >= 0) {
+        governor_->force_mode(
+            static_cast<core::GuardMode>(opts_.forced_rung));
+      }
+      cfg.governor = governor_.get();
+    }
+    ctx_ = std::make_unique<core::GuardedPoolContext>(cfg);
     global_pool_ = std::make_unique<core::GuardedPool>(*ctx_);
     // The guard-elision contract: sites the static UAF analysis proved SAFE
     // bypass the shadow engine entirely. The verifier (run above by default)

@@ -48,6 +48,15 @@ struct InterpOptions {
   // every non-elided site through the page-guard lane — the all-page-guard
   // half of an A/B run (pirc --scheme=guard).
   bool honor_schemes = true;
+  // Degradation-ladder A/B knobs (pirc --rung / --sample-rate). forced_rung
+  // pins a private governor to one rung for the interpreter's lifetime
+  // (core::GuardMode numbering: 0 full-guard, 1 sampled, 2 quarantine-only,
+  // 3 unguarded; -1 = adaptive process default). sample_rate fixes the
+  // sampled rung's 1-in-N; 0 keeps the governor default (or DPG_SAMPLE_RATE).
+  // Setting either knob gives the run its own governor, so A/B comparisons
+  // do not perturb — or inherit pressure from — the process-wide ladder.
+  int forced_rung = -1;
+  std::size_t sample_rate = 0;
 };
 
 struct InterpResult {
@@ -76,6 +85,12 @@ class Interpreter {
   [[nodiscard]] core::GuardedPoolContext* context() noexcept { return ctx_.get(); }
   [[nodiscard]] std::size_t live_pools() const noexcept;
 
+  // The private governor created for the --rung/--sample-rate knobs, or
+  // nullptr when the run rides the adaptive process-wide ladder.
+  [[nodiscard]] core::DegradationGovernor* governor() noexcept {
+    return governor_.get();
+  }
+
   // Allocations served unguarded under the elision contract, accumulated
   // across the interpreter's lifetime (pool destruction does not reset it).
   [[nodiscard]] std::uint64_t guards_elided() const noexcept {
@@ -100,6 +115,9 @@ class Interpreter {
 
   Module module_;  // owned copy: callers may pass temporaries
   InterpOptions opts_;
+  // Declared before ctx_: the context's VA-release hook points at the
+  // governor, so the governor must be destroyed after the context.
+  std::unique_ptr<core::DegradationGovernor> governor_;
   std::unique_ptr<core::GuardedPoolContext> ctx_;
   std::unique_ptr<core::GuardedPool> global_pool_;
   std::vector<std::unique_ptr<core::GuardedPool>> pools_;

@@ -69,7 +69,9 @@ ShadowEngine::ShadowEngine(vm::PhysArena& arena, alloc::MallocLike& under,
       mapper_(arena, cfg.strategy),
       cfg_(cfg),
       gov_(cfg.governor != nullptr ? cfg.governor
-                                   : &DegradationGovernor::process()) {
+                                   : &DegradationGovernor::process()),
+      sampled_(cfg.sampled_table != nullptr ? cfg.sampled_table
+                                            : &own_sampled_) {
   head_.prev = &head_;
   head_.next = &head_;
   // Magazines need every span page to be an arena alias; a trailing guard
@@ -136,6 +138,22 @@ void* ShadowEngine::realloc(void* p, std::size_t new_size, SiteId site) {
     return nullptr;
   }
   const ObjectRecord* rec = ShadowRegistry::global().lookup(vm::addr(p));
+  if (rec == nullptr && !sampled_->empty()) {
+    SampledTable::Entry ent;
+    if (sampled_->lookup_live(vm::addr(p), &ent)) {
+      // Fast-path object: move via whatever the current rung dictates; the
+      // old block then takes the exact ledger free (quarantined above).
+      void* fresh = do_alloc_locked(new_size, site);
+      if (fresh == nullptr) return nullptr;  // old block stays valid
+      std::memcpy(fresh, p, ent.size < new_size ? ent.size : new_size);
+      free_locked(lock, p, site);
+      return fresh;
+    }
+    if (sampled_->is_freed(vm::addr(p))) {
+      // Stale fast-path pointer: same disposition as a double free.
+      free_locked(lock, p, site);  // raises; does not return
+    }
+  }
   if (rec == nullptr && degraded_pointers_possible()) {
     // Pointer from a degraded allocation: move it through whatever path the
     // current mode dictates. size_of reads the allocator's own header.
@@ -169,26 +187,44 @@ void* ShadowEngine::do_alloc_locked(std::size_t size, SiteId site) {
   if (remote_head_.load(std::memory_order_relaxed) != nullptr) {
     drain_remote_locked();
   }
-  return gov_->on_alloc() == GuardMode::kFullGuard
-             ? guarded_alloc_locked(size, site)
-             : degraded_alloc_locked(size, site);
+  switch (gov_->on_alloc()) {
+    case GuardMode::kFullGuard:
+      return guarded_alloc_locked(size, site);
+    case GuardMode::kSampled:
+      // 1-in-N winners get the full shadow alias; the rest take the ledgered
+      // fast path (exact double-free detection, no VMA, no syscall).
+      return gov_->sample_this_alloc() ? guarded_alloc_locked(size, site)
+                                       : sampled_fast_alloc_locked(size, site);
+    case GuardMode::kQuarantineOnly:
+    case GuardMode::kUnguarded:
+      break;
+  }
+  return degraded_alloc_locked(size, site);
 }
 
 // Underlying allocation with exhaustion handling: on bad_alloc the governor
 // is told, the quarantine is returned to the allocator, and the request is
 // retried once. nullptr = genuinely out of physical memory.
 void* ShadowEngine::alloc_canonical_locked(std::size_t bytes) {
+  void* p = nullptr;
   try {
-    return under_.malloc(bytes);
+    p = under_.malloc(bytes);
   } catch (const std::bad_alloc&) {
     gov_->on_arena_exhausted();
   }
-  if (drain_quarantine_locked() == 0) return nullptr;
-  try {
-    return under_.malloc(bytes);
-  } catch (const std::bad_alloc&) {
-    return nullptr;
+  if (p == nullptr) {
+    if (drain_quarantine_locked() == 0) return nullptr;
+    try {
+      p = under_.malloc(bytes);
+    } catch (const std::bad_alloc&) {
+      return nullptr;
+    }
   }
+  // The allocator just (re)bound this canonical address; a stale sampled-
+  // ledger entry must not outlive the old binding (the emptiness gate keeps
+  // this off the hot path for every run that never reached the sampled rung).
+  if (p != nullptr && !sampled_->empty()) sampled_->forget(vm::addr(p));
+  return p;
 }
 
 void* ShadowEngine::degraded_alloc_locked(std::size_t size, SiteId site) {
@@ -202,6 +238,29 @@ void* ShadowEngine::degraded_alloc_locked(std::size_t size, SiteId site) {
   gov_->count_degraded_alloc();
   obs::record_event(obs::EventKind::kAlloc, vm::addr(p), size, site);
   return p;
+}
+
+void* ShadowEngine::sampled_fast_alloc_locked(std::size_t size, SiteId site) {
+  // Sampled rung, unsampled allocation: canonical pointer out, no alias, no
+  // registry record — but unlike the degraded path the ledger keeps the
+  // {site, size} binding so a double free of this pointer is still exact.
+  void* p = alloc_canonical_locked(size);
+  if (p == nullptr) return nullptr;
+  sampled_->insert(vm::addr(p), size, site);
+  stats_.sampled_allocs.fetch_add(1, std::memory_order_relaxed);
+  obs::record_event(obs::EventKind::kAlloc, vm::addr(p), size, site);
+  return p;
+}
+
+void* ShadowEngine::fallback_alloc_locked(std::size_t size, SiteId site) {
+  // A guard-path refusal just moved the ladder; re-serve through whatever
+  // rung it landed on. The oracle classifies pointers by the POST-op rung,
+  // so the fallback must take the same branch an ordinary allocation under
+  // the new rung would (sampled rung: this allocation was not guarded, so it
+  // is a fast-path object regardless of what the next sample draw says).
+  return gov_->mode() == GuardMode::kSampled
+             ? sampled_fast_alloc_locked(size, site)
+             : degraded_alloc_locked(size, site);
 }
 
 bool ShadowEngine::degraded_pointers_possible() const noexcept {
@@ -349,6 +408,18 @@ void* ShadowEngine::magazine_claim_locked(std::uintptr_t first_page,
   m.free_slots -= nslots;
   const std::uintptr_t sb = m.shadow_base + off_in_window;
   magazines_.emplace(window_base, m);
+  if (cfg_.magazine_windows != 0 && magazines_.size() > cfg_.magazine_windows) {
+    // Population cap: evict an arbitrary other generation, recycling its
+    // unclaimed slot runs. Claimed slots are owned by live records and are
+    // released with them, so eviction only forfeits future zero-syscall hits
+    // on that window.
+    auto victim = magazines_.begin();
+    if (victim->first == window_base) ++victim;
+    if (victim != magazines_.end()) {
+      retire_magazine_locked(victim->first, victim->second);
+      magazines_.erase(victim);
+    }
+  }
   return reinterpret_cast<void*>(sb);
 }
 
@@ -463,7 +534,7 @@ void* ShadowEngine::guarded_alloc_locked(std::size_t size, SiteId site) {
     }
     stats_.guard_failures.fetch_add(1, std::memory_order_relaxed);
     gov_->on_syscall_failure("shadow-alias", alias.err);
-    return degraded_alloc_locked(size, site);
+    return fallback_alloc_locked(size, site);
   }
   gov_->add_vmas(fresh_vmas);
 
@@ -585,6 +656,49 @@ void ShadowEngine::maybe_flush_locked() {
 void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
                                SiteId site) {
   const std::uintptr_t user = vm::addr(p);
+  if (!sampled_->empty()) {
+    // Sampled-rung ledger first: it has EXACT knowledge of fast-path
+    // pointers, so it must win over the best-effort degraded disposition —
+    // and since ledgered (canonical) and guarded (shadow-page) addresses are
+    // disjoint by construction, a hit is definitive without consulting the
+    // registry at all. Probing the local sharded ledger before the global
+    // table keeps the sampled rung's dominant free path off the registry's
+    // reader-epoch cacheline; a miss (guarded or degraded pointer) pays one
+    // hash find extra, only while the ledger is non-empty.
+    SampledTable::Entry ent;
+    switch (sampled_->on_free(user, site, &ent)) {
+      case SampledTable::FreeResult::kMiss:
+        break;
+      case SampledTable::FreeResult::kFreed: {
+        // First free of a fast-path object: ledger transition done; the block
+        // parks in quarantine so the address cannot be rebound while the
+        // freed entry could still catch a double free.
+        std::size_t bytes = under_.size_of(p);
+        if (bytes == 0 || bytes > (std::size_t{1} << 32)) {
+          bytes = vm::kPageSize;
+        }
+        stats_.sampled_frees.fetch_add(1, std::memory_order_relaxed);
+        obs::record_event(obs::EventKind::kFree, user, ent.size, site);
+        quarantine_locked(p, bytes);
+        return;
+      }
+      case SampledTable::FreeResult::kDoubleFree: {
+        // Exact double free of an unsampled object — the rung's headline
+        // guarantee. The entry carries the first free's attribution.
+        stats_.double_frees.fetch_add(1, std::memory_order_relaxed);
+        DanglingReport report;
+        report.kind = AccessKind::kFree;
+        report.fault_address = user;
+        report.object_base = user;
+        report.object_size = ent.size;
+        report.alloc_site = ent.alloc_site;
+        report.free_site = ent.free_site;
+        lock.unlock();
+        FaultManager::instance().raise_software(report);
+        return;
+      }
+    }
+  }
   const ObjectRecord* found = ShadowRegistry::global().lookup(user);
   if (found == nullptr && degraded_pointers_possible()) {
     // Once any engine under this governor has served a degraded allocation, a
@@ -738,6 +852,16 @@ std::size_t ShadowEngine::pending_revocations() const {
   std::lock_guard lock(mu_);
   return pending_protect_.size() +
          remote_pending_.load(std::memory_order_relaxed);
+}
+
+std::size_t ShadowEngine::quarantine_depth_bytes() const {
+  std::lock_guard lock(mu_);
+  return quarantine_bytes_;
+}
+
+std::size_t ShadowEngine::magazine_count() const {
+  std::lock_guard lock(mu_);
+  return magazines_.size();
 }
 
 void ShadowEngine::flush_protections_locked() {

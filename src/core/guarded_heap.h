@@ -52,6 +52,7 @@
 #include "alloc/heap.h"
 #include "core/degrade.h"
 #include "core/registry.h"
+#include "core/sampled.h"
 #include "core/stats.h"
 #include "vm/shadow_map.h"
 #include "vm/va_freelist.h"
@@ -98,9 +99,23 @@ struct GuardConfig {
   // magazine get their shadow pages with zero syscalls. 0 or 1 = off (the
   // paper's per-object alias). Clamped to [2, kMaxMagazineSlots].
   std::size_t magazine_slots = 0;
+  // Live-generation population cap per engine. Windows tile the arena's
+  // file-offset space, so a churn-heavy workload keeps first-touching new
+  // windows; without a cap every partially-claimed generation (one
+  // window-sized shadow mapping each) lives until release_all — unbounded
+  // RSS/VMA growth that the endurance soak flags as a leak. Over the cap the
+  // fresh-generation path retires another generation first (its window falls
+  // back to the per-object alias until re-touched). 0 = unbounded.
+  std::size_t magazine_windows = 256;
   // Degradation policy (core/degrade.h). nullptr = share the process-wide
   // governor; tests and benches pass their own to pin or observe the ladder.
   DegradationGovernor* governor = nullptr;
+  // Exact double-free ledger for the sampled rung's unguarded fast path
+  // (core/sampled.h). Must be shared across every engine that shares an
+  // underlying heap (ShardedHeap wires its own in); nullptr = the engine
+  // keeps a private table, correct for single-engine owners (GuardedHeap,
+  // pools whose frees route back to the allocating pool).
+  SampledTable* sampled_table = nullptr;
 };
 
 class ShadowEngine {
@@ -200,6 +215,10 @@ class ShadowEngine {
     return remote_pending_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t pending_revocations() const;
+  // Bytes currently parked in the delayed-reuse quarantine and live magazine
+  // generations — the soak harness samples both for drift.
+  [[nodiscard]] std::size_t quarantine_depth_bytes() const;
+  [[nodiscard]] std::size_t magazine_count() const;
 
   // --- oracle introspection (src/fuzz, tests) ---
   // Resolves a pointer previously returned by malloc to its record, or
@@ -236,6 +255,8 @@ class ShadowEngine {
   void* do_alloc_locked(std::size_t size, SiteId site);
   void* guarded_alloc_locked(std::size_t size, SiteId site);
   void* degraded_alloc_locked(std::size_t size, SiteId site);
+  void* sampled_fast_alloc_locked(std::size_t size, SiteId site);
+  void* fallback_alloc_locked(std::size_t size, SiteId site);
   void* alloc_canonical_locked(std::size_t bytes);
   void* install_record_locked(void* shadow_base, std::size_t span_len,
                               std::size_t guard, std::uintptr_t canon_addr,
@@ -264,6 +285,10 @@ class ShadowEngine {
   GuardConfig cfg_;
   DegradationGovernor* gov_;
   std::uint32_t shard_id_ = 0;
+
+  // Sampled-rung fast-path ledger: the config's shared table, else private.
+  SampledTable own_sampled_;
+  SampledTable* sampled_;
 
   // Slot magazines: canonical-window base -> current generation.
   std::size_t magazine_slots_ = 0;  // validated; 0 = off

@@ -23,10 +23,6 @@ ShadowRegistry::~ShadowRegistry() {
   Table* t = table_.load(std::memory_order_relaxed);
   delete[] t->slots;
   delete t;
-  for (Table* old : retired_) {
-    delete[] old->slots;
-    delete old;
-  }
 }
 
 ShadowRegistry& ShadowRegistry::global() {
@@ -76,8 +72,23 @@ void ShadowRegistry::grow_locked(std::size_t min_live) {
       put(*fresh, key, old->slots[i].value.load(std::memory_order_relaxed));
     }
   }
-  retired_.push_back(old);
-  table_.store(fresh, std::memory_order_release);
+  // Publish the replacement, flip the epoch, and drain the stale parity: any
+  // reader still registered there predates the flip and may hold the old
+  // table's pointer. Readers are lock-free leaf probes (they never block, and
+  // the fault handler never takes mu_), so the spin is short and cannot
+  // deadlock. Once the counter hits zero every later reader re-validated into
+  // the new parity after loading table_, so the old slots are unreachable.
+  table_.store(fresh, std::memory_order_seq_cst);
+  const std::size_t stale = epoch_.fetch_add(1, std::memory_order_seq_cst) & 1;
+  for (std::size_t s = 0; s < kReaderStripes; ++s) {
+    while (readers_[s].count[stale].load(std::memory_order_seq_cst) != 0) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  delete[] old->slots;
+  delete old;
 }
 
 void ShadowRegistry::insert(const ObjectRecord& rec) {
@@ -118,20 +129,42 @@ void ShadowRegistry::erase(const ObjectRecord& rec) {
 }
 
 const ObjectRecord* ShadowRegistry::lookup(std::uintptr_t addr) const noexcept {
-  const Table* t = table_.load(std::memory_order_acquire);
+  // Register under the current epoch parity, then re-validate: if a rehash
+  // flipped the epoch between the two loads, our registration landed in the
+  // parity the rehash is (or will be) draining while we have not yet loaded
+  // the table pointer — back out and re-register. Once validation passes, the
+  // seq_cst total order guarantees any rehash that retires the table we are
+  // about to load flips the epoch *after* our increment, so its drain loop
+  // cannot miss us. Async-signal-safe: atomics only, no locks, and a nested
+  // handler's lookup simply nests the counter.
+  static std::atomic<std::uint32_t> next_stripe{0};
+  thread_local const std::uint32_t stripe =
+      next_stripe.fetch_add(1, std::memory_order_relaxed) % kReaderStripes;
+  ReaderStripe& rs = readers_[stripe];
+  std::size_t e;
+  for (;;) {
+    e = epoch_.load(std::memory_order_seq_cst) & 1;
+    rs.count[e].fetch_add(1, std::memory_order_seq_cst);
+    if ((epoch_.load(std::memory_order_seq_cst) & 1) == e) break;
+    rs.count[e].fetch_sub(1, std::memory_order_seq_cst);
+  }
+  const Table* t = table_.load(std::memory_order_seq_cst);
   const std::uintptr_t page = vm::page_down(addr);
   std::size_t i = hash_page(page) & t->mask;
+  const ObjectRecord* found = nullptr;
   // Bounded probe: the mutators keep load factor <= 0.5, so an unbroken run
   // longer than the table means corruption; bail out rather than spin.
   for (std::size_t n = 0; n <= t->mask; ++n) {
     const std::uintptr_t key = t->slots[i].key.load(std::memory_order_acquire);
     if (key == page) {
-      return t->slots[i].value.load(std::memory_order_acquire);
+      found = t->slots[i].value.load(std::memory_order_acquire);
+      break;
     }
-    if (key == 0) return nullptr;
+    if (key == 0) break;
     i = (i + 1) & t->mask;
   }
-  return nullptr;
+  rs.count[e].fetch_sub(1, std::memory_order_seq_cst);
+  return found;
 }
 
 std::size_t ShadowRegistry::entries() const {

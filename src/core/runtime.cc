@@ -62,6 +62,8 @@ constexpr NamedField kExported[] = {
     {"dpg_tag_mismatches", &GuardCounters::tag_mismatches},
     {"dpg_heap_degraded_allocs", &GuardCounters::degraded_allocs},
     {"dpg_quarantined_frees", &GuardCounters::quarantined_frees},
+    {"dpg_sampled_allocs", &GuardCounters::sampled_allocs},
+    {"dpg_sampled_frees", &GuardCounters::sampled_frees},
     {"dpg_guard_failures", &GuardCounters::guard_failures},
     {"dpg_magazine_maps", &GuardCounters::magazine_maps},
     {"dpg_magazine_hits", &GuardCounters::magazine_hits},

@@ -98,6 +98,9 @@ class ShardedHeap {
   alloc::ArenaSource source_;
   alloc::SegregatedHeap heap_;  // internally mutexed; shared by all shards
   vm::VaFreeList shadow_va_;
+  // Sampled-rung ledger, shared like the heap: a fast-path object allocated
+  // on one shard may be freed through any shard's registry-miss path.
+  SampledTable sampled_;
   // Engines must be destroyed before the members they reference; keep last.
   std::vector<std::unique_ptr<ShadowEngine>> engines_;
 };

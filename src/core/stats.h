@@ -83,6 +83,14 @@ struct GuardStats {
                                            // frees - pending == revoked)
   std::uint64_t remote_frees = 0;         // frees queued cross-shard onto
                                            // the owner's MPSC list
+  std::uint64_t sampled_allocs = 0;       // sampled-rung allocations served
+                                           // on the unguarded fast path (the
+                                           // 1-in-N winners count under
+                                           // allocations like any guard)
+  std::uint64_t sampled_frees = 0;        // frees of those fast-path objects
+                                           // resolved via the sampled ledger
+                                           // (exact double-free detection
+                                           // kept; block quarantined)
   std::uint64_t tagged_allocs = 0;        // lock-and-key lane allocations
                                            // (tag-in-pointer, no shadow
                                            // alias, no mprotect)
@@ -115,6 +123,8 @@ struct GuardStats {
     revoke_coalesced_pages += o.revoke_coalesced_pages;
     revoked_spans += o.revoked_spans;
     remote_frees += o.remote_frees;
+    sampled_allocs += o.sampled_allocs;
+    sampled_frees += o.sampled_frees;
     tagged_allocs += o.tagged_allocs;
     tagged_frees += o.tagged_frees;
     tag_mismatches += o.tag_mismatches;
@@ -147,6 +157,8 @@ struct GuardCounters {
   alignas(vm::kCacheLine) std::atomic<std::uint64_t> revoke_coalesced_pages{0};
   alignas(vm::kCacheLine) std::atomic<std::uint64_t> revoked_spans{0};
   alignas(vm::kCacheLine) std::atomic<std::uint64_t> remote_frees{0};
+  alignas(vm::kCacheLine) std::atomic<std::uint64_t> sampled_allocs{0};
+  alignas(vm::kCacheLine) std::atomic<std::uint64_t> sampled_frees{0};
   alignas(vm::kCacheLine) std::atomic<std::uint64_t> tagged_allocs{0};
   alignas(vm::kCacheLine) std::atomic<std::uint64_t> tagged_frees{0};
   alignas(vm::kCacheLine) std::atomic<std::uint64_t> tag_mismatches{0};
@@ -178,6 +190,8 @@ struct GuardCounters {
         revoke_coalesced_pages.load(std::memory_order_relaxed);
     s.revoked_spans = revoked_spans.load(std::memory_order_relaxed);
     s.remote_frees = remote_frees.load(std::memory_order_relaxed);
+    s.sampled_allocs = sampled_allocs.load(std::memory_order_relaxed);
+    s.sampled_frees = sampled_frees.load(std::memory_order_relaxed);
     s.tagged_allocs = tagged_allocs.load(std::memory_order_relaxed);
     s.tagged_frees = tagged_frees.load(std::memory_order_relaxed);
     s.tag_mismatches = tag_mismatches.load(std::memory_order_relaxed);

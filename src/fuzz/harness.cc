@@ -158,6 +158,7 @@ core::GovernorConfig governor_config(const FuzzConfig& cfg) {
   // A forced rung must stay forced: disable the recovery ladder, or 4096
   // clean allocations would quietly promote the run back to full guard.
   if (cfg.forced_mode >= 0) gc.recover_after = 0;
+  if (cfg.sample_rate != 0) gc.sample_rate = cfg.sample_rate;
   return gc;
 }
 
@@ -323,8 +324,15 @@ Guardness classify_guard(const void* p, core::GuardMode mode) {
     return Guardness::kTagged;
   }
   if (core::ShadowEngine::record_of(p) != nullptr) return Guardness::kGuarded;
-  return mode == core::GuardMode::kUnguarded ? Guardness::kPassthrough
-                                             : Guardness::kQuarantined;
+  // No registry record: the rung at return tells the rest apart. On the
+  // sampled rung an unguarded allocation is ledgered (fast path), and a
+  // sampled WINNER was already caught by the record_of check above — the
+  // per-allocation sampling decision is introspected, never re-modelled.
+  switch (mode) {
+    case core::GuardMode::kUnguarded: return Guardness::kPassthrough;
+    case core::GuardMode::kSampled: return Guardness::kSampledFast;
+    default: return Guardness::kQuarantined;
+  }
 }
 
 // Strips and key-checks a tag-lane pointer before a raw access; pointers
@@ -375,8 +383,10 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
   // Bookkeeping for the end-of-run invariant cross-checks.
   std::uint64_t guarded_allocs = 0;
   std::uint64_t degraded_allocs = 0;
+  std::uint64_t sampled_allocs = 0;
   std::uint64_t guarded_frees = 0;
   std::uint64_t quarantined_frees = 0;
+  std::uint64_t sampled_frees = 0;
   std::uint64_t observed_df = 0;
   std::uint64_t observed_if = 0;
   std::uint64_t tagged_allocs = 0;
@@ -624,10 +634,12 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
         // 3. Report precision. Tag-lane reports carry no alloc site (the
         // slot header describes the current generation's owner, not the
         // stale pointer's), but the object base must still be the probed
-        // pointer.
+        // pointer. Sampled fast-path double-free reports come from the
+        // ledger, which recorded both — they are held to the same bar.
         if (rt.count(op.obj) != 0 && model != nullptr &&
             (model->guard == Guardness::kGuarded ||
-             model->guard == Guardness::kTagged)) {
+             model->guard == Guardness::kTagged ||
+             model->guard == Guardness::kSampledFast)) {
           check_precision(idx, op, rt.at(op.obj), r);
         }
       }
@@ -647,6 +659,8 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
               ++guarded_allocs;
             } else if (g == Guardness::kTagged) {
               ++tagged_allocs;
+            } else if (g == Guardness::kSampledFast) {
+              ++sampled_allocs;
             } else {
               ++degraded_allocs;
             }
@@ -661,6 +675,8 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
               ++guarded_frees;  // phase was live: the CAS admitted this free
             } else if (model->guard == Guardness::kQuarantined) {
               ++quarantined_frees;  // live free AND absorbed double free
+            } else if (model->guard == Guardness::kSampledFast) {
+              ++sampled_frees;  // the ledger admitted this free exactly
             } else if (model->guard == Guardness::kTagged) {
               ++tagged_frees;  // the key matched: the lock advanced
             }
@@ -678,6 +694,8 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
               ++guarded_frees;
             } else if (model->guard == Guardness::kQuarantined) {
               ++quarantined_frees;
+            } else if (model->guard == Guardness::kSampledFast) {
+              ++sampled_frees;
             } else if (model->guard == Guardness::kTagged) {
               ++tagged_frees;
             }
@@ -688,6 +706,8 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
               ++guarded_allocs;
             } else if (g == Guardness::kTagged) {
               ++tagged_allocs;
+            } else if (g == Guardness::kSampledFast) {
+              ++sampled_allocs;
             } else {
               ++degraded_allocs;
             }
@@ -756,9 +776,12 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
                               std::to_string(id) + " did not report (" +
                               outcome_name(r.outcome) + ")");
         }
-      } else if (o.guard == Guardness::kQuarantined) {
+      } else if (o.guard == Guardness::kQuarantined ||
+                 o.guard == Guardness::kSampledFast) {
         // Suspension, not falsification: the quarantined block still holds
-        // the object's last fill — it was never handed to a new owner.
+        // the object's last fill — it was never handed to a new owner. The
+        // sampled fast path frees through the same quarantine, so it makes
+        // the identical promise.
         ExecResult r;
         auto rep = core::catch_dangling([&] {
           r.value = *reinterpret_cast<volatile unsigned char*>(ro.ptr);
@@ -791,6 +814,8 @@ RunResult run_trace(const FuzzConfig& cfg, const Trace& trace,
     expect_eq(st.invalid_frees, observed_if, "stats.invalid_frees");
     expect_eq(st.quarantined_frees, quarantined_frees,
               "stats.quarantined_frees");
+    expect_eq(st.sampled_allocs, sampled_allocs, "stats.sampled_allocs");
+    expect_eq(st.sampled_frees, sampled_frees, "stats.sampled_frees");
     expect_eq(st.tagged_allocs, tagged_allocs, "stats.tagged_allocs");
     expect_eq(st.tagged_frees, tagged_frees, "stats.tagged_frees");
     expect_eq(st.tag_mismatches, observed_tm_free, "stats.tag_mismatches");
@@ -863,7 +888,15 @@ std::vector<FuzzConfig> smoke_matrix(std::size_t n_ops) {
   }
   {
     FuzzConfig c = base("forced-quarantine");
-    c.forced_mode = 1;  // core::GuardMode::kQuarantineOnly
+    c.forced_mode = 2;  // core::GuardMode::kQuarantineOnly
+    v.push_back(c);
+  }
+  {
+    // Sampled rung, 1-in-4: both lanes of the rung exercised in one run —
+    // winners behave like full guard, losers like the ledgered fast path.
+    FuzzConfig c = base("sampled-n4");
+    c.forced_mode = 1;  // core::GuardMode::kSampled
+    c.sample_rate = 4;
     v.push_back(c);
   }
   {
@@ -924,8 +957,34 @@ std::vector<FuzzConfig> matrix(std::size_t n_ops) {
   }
   {
     FuzzConfig c = base("forced-unguarded");
-    c.forced_mode = 2;  // core::GuardMode::kUnguarded
+    c.forced_mode = 3;  // core::GuardMode::kUnguarded
     c.gen.plant_bugs = false;  // probing a plain heap would be UB, not a test
+    v.push_back(c);
+  }
+  {
+    // N=1 degenerates to full guard: every allocation samples, so this cell
+    // must be indistinguishable from the unforced ladder's top rung.
+    FuzzConfig c = base("sampled-n1");
+    c.forced_mode = 1;  // core::GuardMode::kSampled
+    c.sample_rate = 1;
+    v.push_back(c);
+  }
+  {
+    // Production-shaped rate: almost everything takes the ledgered fast
+    // path; double frees must still report exactly.
+    FuzzConfig c = base("sampled-n64");
+    c.forced_mode = 1;  // core::GuardMode::kSampled
+    c.sample_rate = 64;
+    v.push_back(c);
+  }
+  {
+    // Cross-thread frees of fast-path objects: the router misses the
+    // registry and must consult the shared ledger on the home shard.
+    FuzzConfig c = base("sampled-n4-4shard-mt");
+    c.forced_mode = 1;  // core::GuardMode::kSampled
+    c.sample_rate = 4;
+    c.shards = 4;
+    c.gen.lanes = 4;
     v.push_back(c);
   }
   {

@@ -140,6 +140,10 @@ Prediction Oracle::predict(const Op& op, bool revocation_applied,
           // Quarantine delays reuse: silent AND stale — never another
           // owner's bytes, never a trap.
           return silent("freed quarantined read", /*check_stale=*/true);
+        case Guardness::kSampledFast:
+          // The ledger free parked the block in the same delayed-reuse
+          // quarantine, so the read is silent AND observes the stale fill.
+          return silent("freed sampled fast-path read", /*check_stale=*/true);
         case Guardness::kPassthrough:
           // The block may have been recycled: the read must not trap, but
           // no value is promised.
@@ -166,6 +170,9 @@ Prediction Oracle::predict(const Op& op, bool revocation_applied,
                      : silent("freed guarded write inside revocation window");
         case Guardness::kQuarantined:
           return silent("freed quarantined write");
+        case Guardness::kSampledFast:
+          // Quarantined block: writing cannot corrupt a new owner.
+          return silent("freed sampled fast-path write");
         case Guardness::kPassthrough:
           // Writing a possibly-recycled block would corrupt a live object.
           return skip("freed unguarded write");
@@ -191,6 +198,10 @@ Prediction Oracle::predict(const Op& op, bool revocation_applied,
           // into quarantine (the allocator's magic check attributes it
           // later, without a user-facing report).
           return silent("degraded double free absorbed");
+        case Guardness::kSampledFast:
+          // The rung's headline guarantee: the ledger's freed entry makes
+          // this double free exact — report, never absorb.
+          return report_double_free("sampled fast-path double free");
         case Guardness::kPassthrough:
           return skip("unguarded double free (heap UB)");
         case Guardness::kTagged:

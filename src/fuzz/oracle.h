@@ -13,6 +13,12 @@
 //                     a remote-free list; a double free MUST report (the
 //                     kLive->kFreed CAS is window-independent); an interior
 //                     free of a live object MUST report invalid-free.
+//   kSampled          the 1-in-N winners carry a shadow alias and behave
+//                     exactly like kFullGuard objects; the unsampled rest
+//                     take the ledgered fast path: dangling reads/writes are
+//                     silent (the ledger free quarantines the block, so reads
+//                     still observe the stale fill) but a double free MUST
+//                     report — the ledger keeps that one guarantee exact.
 //   kQuarantineOnly   detection suspended, never falsified: uses of a freed
 //                     degraded object MUST succeed silently and MUST observe
 //                     the stale fill (quarantine delays reuse); frees are
@@ -55,6 +61,12 @@ enum class Guardness : std::uint8_t {
   kQuarantined,
   kPassthrough,
   kTagged,
+  // Sampled rung, unsampled allocation: canonical pointer + exact double-free
+  // ledger (core/sampled.h). The sampled WINNERS classify as kGuarded — the
+  // per-allocation decision is introspected from the stack (registry record
+  // present), never re-modelled, so the oracle stays exact whatever the
+  // sampling pattern was.
+  kSampledFast,
 };
 
 enum class Phase : std::uint8_t { kLive, kFreed, kReleased };

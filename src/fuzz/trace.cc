@@ -186,6 +186,7 @@ std::string to_replay(const FuzzConfig& cfg, const Trace& trace) {
   out << "batch_bytes " << cfg.protect_batch_bytes << "\n";
   out << "fault " << (cfg.fault_plan.empty() ? "-" : cfg.fault_plan) << "\n";
   out << "forced_mode " << cfg.forced_mode << "\n";
+  out << "sample_rate " << cfg.sample_rate << "\n";
   out << "oracle_bug " << (cfg.oracle_bug ? 1 : 0) << "\n";
   out << "tag_lane " << (cfg.tag_lane ? 1 : 0) << "\n";
   out << "tag_bits " << cfg.tag_bits << "\n";
@@ -242,6 +243,8 @@ bool from_replay(const std::string& text, FuzzConfig* cfg, Trace* trace,
       if (c.fault_plan == "-") c.fault_plan.clear();
     } else if (tag == "forced_mode") {
       in >> c.forced_mode;
+    } else if (tag == "sample_rate") {
+      in >> c.sample_rate;
     } else if (tag == "oracle_bug") {
       int v = 0;
       in >> v;

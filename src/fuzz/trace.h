@@ -96,6 +96,11 @@ struct FuzzConfig {
   std::size_t protect_batch_bytes = 0;
   std::string fault_plan;  // DPG_FAULT_INJECT grammar; "" = none
   int forced_mode = -1;    // core::GuardMode to pin, -1 = ladder off-forced
+  // Base 1-in-N guard probability for sampled-rung cells (forced_mode ==
+  // kSampled). 0 = governor default. The per-allocation decision is made by
+  // the real governor and introspected back (classify_guard), so any N stays
+  // exact.
+  std::size_t sample_rate = 0;
   // Deliberate oracle defect (predicts queued revocations as already
   // applied): the known-bad seed for the shrink/replay demo.
   bool oracle_bug = false;

@@ -44,7 +44,8 @@
 namespace dpg::obs::dump {
 
 inline constexpr char kMagic[8] = {'D', 'P', 'G', 'C', 'R', 'S', 'H', '1'};
-inline constexpr std::uint32_t kVersion = 1;
+// v2: LadderHeader grew the sampled rung's effective 1-in-N rate.
+inline constexpr std::uint32_t kVersion = 2;
 inline constexpr std::size_t kMaxPathLen = 512;
 
 enum class Tag : std::uint32_t {
@@ -144,6 +145,8 @@ struct VmStatsSection {
 struct LadderHeader {
   std::uint32_t current_mode;  // core::GuardMode numeric value at dump time
   std::uint32_t count;         // LadderEntry records following, oldest first
+  std::uint32_t sample_rate;   // effective 1-in-N on the sampled rung
+  std::uint32_t reserved;
 };
 
 struct LadderEntry {

@@ -1,0 +1,133 @@
+// Address-space endurance soak harness (DESIGN.md §15).
+//
+// The page-guard design trades address space for detection: every live
+// guarded object is one VMA, every freed-but-guarded span one PROT_NONE VMA,
+// and the recycling layers (VaFreeList, magazines, quarantine) exist to keep
+// that spend bounded. A slow leak in any of them — a freelist that only
+// grows, a magazine that never recycles, quarantine accounting that drifts —
+// is invisible to the unit tests and fatal over a production week: the
+// process walks into vm.max_map_count and the governor rides the ladder to
+// unguarded permanently.
+//
+// run_soak() is the bounded-wall-clock version of that week: a steady-state
+// allocation mix (heap churn + pool create/destroy + cross-thread frees +
+// periodic revocation flushes) with transient fault injection driving at
+// least one demote/recover ladder cycle, while a sampler thread records VMA
+// count, VA high-water, RSS, quarantine depth, magazine population, ladder
+// transitions and the effective sample rate on a fixed interval. After the
+// run, a least-squares drift detector fits the lower envelope (per-bucket
+// minima) of each gated series (VMA count, VA high-water, RSS) over the
+// steady-state half of the run and FAILS the soak on monotonic growth. The
+// envelope is what separates a leak from the recycling layers' bounded
+// fill-and-trim sawtooths: a sawtooth's minima are flat, a leak's minima
+// climb with it. Steady state means flat, not "grows slower than it used to".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dpg::soak {
+
+struct SoakConfig {
+  std::uint64_t seconds = 60;       // wall-clock bound for the workload
+  std::uint32_t threads = 4;        // worker threads (>= 1)
+  std::uint64_t interval_ms = 500;  // sampler period
+  std::size_t shards = 4;           // guarded-heap shards
+  // Slot-magazine depth. Each cached slot keeps its VA mapping for MAP_FIXED
+  // reuse, so magazine population * depth is the soak's dominant VMA term —
+  // deep production magazines would park steady state on vm.max_map_count and
+  // turn the run into a ladder-thrash test instead of a drift test.
+  std::size_t magazine_slots = 16;
+  std::size_t protect_batch = 16;   // batched-revocation config under test
+  std::size_t max_live = 512;       // live objects per worker (soft cap)
+  std::uint32_t max_size = 2048;    // payload bytes per object
+  bool pools = true;                // mix in pool create/use/destroy cycles
+  // Inject a transient syscall-failure pulse at ~1/3 of the wall clock so the
+  // governor demotes (full -> sampled, widening N), then clear it so
+  // hysteresis recovers — the soak asserts >= 1 full demote/recover cycle.
+  bool inject_faults = true;
+  // DPG_FAULT_INJECT grammar for the pulse; "" = a built-in mmap ENOMEM plan.
+  std::string fault_plan;
+  std::size_t sample_rate = 0;   // base 1-in-N for the governor (0 = default)
+  // Per-shard quarantine cap. The soak wants the delayed-reuse pool to reach
+  // its plateau within a few sampler ticks (RSS and VMA count track it), so
+  // this is far below the production default.
+  std::size_t quarantine_bytes = std::size_t{8} << 20;
+  // Per-shard freed-span VA budget (§3.4 strategy 1). Unbounded (the library
+  // default) makes vm.max_map_count the steady-state operating point — freed
+  // tombstones accumulate until the kernel refuses and every refusal rings
+  // the governor. The soak bounds them so the ladder only moves when the
+  // fault pulse says so.
+  std::size_t freed_va_budget = std::size_t{16} << 20;
+  // Raise SIGUSR2 once per sampler tick while the pulse is live (and once
+  // after recovery) when a report dir is armed — exercises the
+  // snapshot-under-demotion consistency path and leaves .dpgcrash artifacts.
+  bool snapshots = true;
+  std::uint64_t seed = 1;
+  // Drift gate: samples discarded as warmup, then the relative fitted growth
+  // (slope * span / mean) each gated series may show before failing.
+  std::size_t warmup_samples = 6;
+  double max_relative_drift = 0.10;
+};
+
+// One sampler tick. Gauges come from /proc/self (maps line count, status
+// VmPeak, statm RSS) and the runtime's own accounting.
+struct Sample {
+  std::uint64_t t_ms = 0;            // since workload start
+  double vma_count = 0;              // /proc/self/maps lines
+  double va_hwm_kb = 0;              // VmPeak (address-space high water)
+  double rss_kb = 0;                 // resident set
+  double quarantine_bytes = 0;       // sum over shards
+  double magazines = 0;              // live magazine count, sum over shards
+  double freelist_ranges = 0;        // VaFreeList held ranges
+  double ladder_transitions = 0;     // governor transitions counter
+  double sample_rate = 0;            // effective 1-in-N
+  double mode = 0;                   // current rung (numeric GuardMode)
+};
+
+// Per-series verdict from the drift detector.
+struct SeriesDrift {
+  std::string name;
+  std::size_t samples = 0;     // post-warmup points fitted
+  double first = 0;
+  double last = 0;
+  double mean = 0;
+  double slope_per_sample = 0;  // least-squares fit
+  double relative_drift = 0;    // slope * (n-1) / max(|mean|, 1)
+  bool monotonic = false;       // no decreasing step and last > first
+  bool gated = false;           // participates in the pass/fail verdict
+  bool failed = false;
+};
+
+struct SoakResult {
+  std::vector<Sample> timeline;
+  std::vector<SeriesDrift> drifts;
+  std::uint64_t ops = 0;           // completed workload operations
+  std::uint64_t wall_ms = 0;
+  std::uint64_t demotions = 0;     // ladder transitions downward
+  std::uint64_t recoveries = 0;    // ladder promotions
+  std::uint64_t sample_widens = 0;
+  std::uint64_t sample_tightens = 0;
+  std::uint64_t snapshots_written = 0;
+  bool saw_demote_cycle = false;   // >= 1 demotion AND >= 1 recovery
+  bool drift_failed = false;       // any gated series failed
+  int final_mode = 0;              // rung at shutdown
+
+  [[nodiscard]] bool ok(bool require_cycle) const {
+    return !drift_failed && (!require_cycle || saw_demote_cycle);
+  }
+  // Machine-readable timeline + verdicts (the CI artifact).
+  [[nodiscard]] std::string to_json() const;
+};
+
+// Least-squares drift fit over `xs` with the first `warmup` points dropped.
+// Exposed for the unit tests; run_soak applies it to every series.
+[[nodiscard]] SeriesDrift detect_drift(const std::string& name,
+                                       const std::vector<double>& xs,
+                                       std::size_t warmup,
+                                       double max_relative_drift, bool gated);
+
+[[nodiscard]] SoakResult run_soak(const SoakConfig& cfg);
+
+}  // namespace dpg::soak

@@ -136,24 +136,86 @@ TEST_F(FaultInjectionTest, GovernorVmaPressureDemotesAndRecoversWithBackoff) {
   EXPECT_EQ(gov.mode(), GuardMode::kFullGuard);
 
   gov.add_vmas(90);
-  EXPECT_EQ(gov.on_alloc(), GuardMode::kQuarantineOnly);  // pressure demotion
+  // The first rung off full guarding is sampled, at the base rate.
+  EXPECT_EQ(gov.on_alloc(), GuardMode::kSampled);  // pressure demotion
   EXPECT_EQ(gov.counters().transitions.load(), 1u);
+  EXPECT_EQ(gov.sample_rate(), cfg.sample_rate);
 
   gov.add_vmas(-60);  // estimate 30, below the low-water mark
   for (int i = 0; i < 3; ++i) {
-    EXPECT_EQ(gov.on_alloc(), GuardMode::kQuarantineOnly);  // streak 1..3
+    EXPECT_EQ(gov.on_alloc(), GuardMode::kSampled);  // streak 1..3
   }
+  // N is already at the base rate, so the streak promotes a real rung.
   EXPECT_EQ(gov.on_alloc(), GuardMode::kFullGuard);  // streak 4 => promote
   EXPECT_EQ(gov.counters().recoveries.load(), 1u);
 
   // A relapse doubles the required streak (exponential backoff).
   gov.on_syscall_failure("test", ENOMEM);
-  EXPECT_EQ(gov.mode(), GuardMode::kQuarantineOnly);
+  EXPECT_EQ(gov.mode(), GuardMode::kSampled);
   for (int i = 0; i < 7; ++i) {
-    EXPECT_EQ(gov.on_alloc(), GuardMode::kQuarantineOnly);  // streak 1..7 < 8
+    EXPECT_EQ(gov.on_alloc(), GuardMode::kSampled);  // streak 1..7 < 8
   }
   EXPECT_EQ(gov.on_alloc(), GuardMode::kFullGuard);  // streak 8 == 4 * 2
   EXPECT_EQ(gov.counters().recoveries.load(), 2u);
+}
+
+TEST_F(FaultInjectionTest, GovernorSampledRungWidensUnderPressureAndRetightens) {
+  GovernorConfig cfg;
+  cfg.vma_budget = 100;
+  cfg.recover_after = 1;    // every clean+low-water alloc is a relief step
+  cfg.sample_rate = 4;      // base 1-in-4
+  cfg.sample_rate_max = 16; // two doublings of headroom
+  DegradationGovernor gov(cfg);
+
+  gov.add_vmas(90);
+  EXPECT_EQ(gov.on_alloc(), GuardMode::kSampled);
+  EXPECT_EQ(gov.sample_rate(), 4u);
+
+  // Sustained pressure on the sampled rung widens N one doubling per
+  // pressure interval instead of conceding the rung.
+  for (int i = 0; i < 64; ++i) (void)gov.on_alloc();
+  EXPECT_EQ(gov.mode(), GuardMode::kSampled);
+  EXPECT_EQ(gov.sample_rate(), 8u);
+  EXPECT_EQ(gov.counters().sample_widens.load(), 1u);
+  for (int i = 0; i < 64; ++i) (void)gov.on_alloc();
+  EXPECT_EQ(gov.sample_rate(), 16u);
+
+  // At the ceiling the next full interval demotes past the rung.
+  for (int i = 0; i < 64; ++i) (void)gov.on_alloc();
+  EXPECT_EQ(gov.mode(), GuardMode::kQuarantineOnly);
+
+  // Relief: promote back onto the sampled rung (the widened N survives the
+  // promotion), then re-tighten step by step before full guarding returns.
+  gov.add_vmas(-80);  // estimate 10, below the low-water mark
+  (void)gov.on_alloc();
+  EXPECT_EQ(gov.mode(), GuardMode::kSampled);
+  EXPECT_EQ(gov.sample_rate(), 16u);
+  (void)gov.on_alloc();
+  EXPECT_EQ(gov.sample_rate(), 8u);
+  (void)gov.on_alloc();
+  EXPECT_EQ(gov.sample_rate(), 4u);
+  EXPECT_EQ(gov.counters().sample_tightens.load(), 2u);
+  EXPECT_EQ(gov.mode(), GuardMode::kSampled);  // N back at base, rung held
+  (void)gov.on_alloc();                        // next relief step: promote
+  EXPECT_EQ(gov.mode(), GuardMode::kFullGuard);
+}
+
+TEST_F(FaultInjectionTest, GovernorRungResidencyIsMonotone) {
+  GovernorConfig cfg;
+  cfg.vma_budget = 100;
+  cfg.recover_after = 0;
+  DegradationGovernor gov(cfg);
+  const std::uint64_t full0 = gov.residency_ns(GuardMode::kFullGuard);
+  gov.on_syscall_failure("test", ENOMEM);  // full -> sampled
+  const std::uint64_t full1 = gov.residency_ns(GuardMode::kFullGuard);
+  EXPECT_GE(full1, full0);
+  const std::uint64_t samp0 = gov.residency_ns(GuardMode::kSampled);
+  // The in-progress stay accrues without further transitions, and a settled
+  // rung's clock never runs backwards.
+  const std::uint64_t samp1 = gov.residency_ns(GuardMode::kSampled);
+  EXPECT_GE(samp1, samp0);
+  EXPECT_GE(gov.residency_ns(GuardMode::kFullGuard), full1);
+  EXPECT_EQ(gov.residency_ns(GuardMode::kUnguarded), 0u);
 }
 
 TEST_F(FaultInjectionTest, GovernorForceModeAndStickyDegradation) {
@@ -162,10 +224,11 @@ TEST_F(FaultInjectionTest, GovernorForceModeAndStickyDegradation) {
   cfg.recover_after = 0;  // recovery disabled: demotions are sticky
   DegradationGovernor gov(cfg);
   gov.on_syscall_failure("test", ENOMEM);
-  EXPECT_EQ(gov.mode(), GuardMode::kQuarantineOnly);
+  EXPECT_EQ(gov.mode(), GuardMode::kSampled);
   for (int i = 0; i < 10000; ++i) (void)gov.on_alloc();
-  EXPECT_EQ(gov.mode(), GuardMode::kQuarantineOnly);
+  EXPECT_EQ(gov.mode(), GuardMode::kSampled);
   EXPECT_EQ(gov.counters().recoveries.load(), 0u);
+  EXPECT_EQ(gov.counters().sample_tightens.load(), 0u);
 
   gov.force_mode(GuardMode::kUnguarded);
   EXPECT_EQ(gov.mode(), GuardMode::kUnguarded);
@@ -183,13 +246,16 @@ TEST_F(FaultInjectionTest, ShadowAliasEnomemDegradesButServesAllocation) {
   auto* p = static_cast<char*>(heap.malloc(100));
   ASSERT_NE(p, nullptr);  // never fail the host for a guard-layer refusal
   p[0] = 'x';
-  p[99] = 'y';  // the degraded pointer is fully usable
-  EXPECT_EQ(gov.mode(), GuardMode::kQuarantineOnly);
+  p[99] = 'y';  // the unguarded pointer is fully usable
+  // One refusal moves one rung: full-guard -> sampled. The refused
+  // allocation re-serves on the sampled fast path (ledgered, no VMA).
+  EXPECT_EQ(gov.mode(), GuardMode::kSampled);
   EXPECT_GE(gov.counters().transitions.load(), 1u);
   EXPECT_GE(gov.counters().syscall_failures.load(), 1u);
-  EXPECT_GE(heap.stats().degraded_allocs, 1u);
+  EXPECT_GE(heap.stats().sampled_allocs, 1u);
   vm::sys::clear_fault_plan();
-  heap.free(p);  // degraded free: quarantined, no report, no crash
+  heap.free(p);  // ledgered free: quarantined, no report, no crash
+  EXPECT_GE(heap.stats().sampled_frees, 1u);
 }
 
 TEST_F(FaultInjectionTest, MprotectRefusalQuarantinesButKeepsDoubleFreeExact) {
@@ -201,7 +267,7 @@ TEST_F(FaultInjectionTest, MprotectRefusalQuarantinesButKeepsDoubleFreeExact) {
   ASSERT_TRUE(vm::sys::set_fault_plan("mprotect:errno=EACCES"));
   EXPECT_NO_THROW(heap.free(p));  // revocation refused: park, don't throw
   EXPECT_GE(heap.stats().guard_failures, 1u);
-  EXPECT_EQ(gov.mode(), GuardMode::kQuarantineOnly);
+  EXPECT_EQ(gov.mode(), GuardMode::kSampled);  // one refusal, one rung
   vm::sys::clear_fault_plan();
   // The record stays registered, so the second free is still an exact
   // double-free report — degradation suspended revocation, not bookkeeping.
@@ -277,7 +343,13 @@ TEST_F(FaultInjectionTest, MidBatchDemotionQuarantinesQueuedRevocations) {
 }
 
 TEST_F(FaultInjectionTest, LadderWalksToUnguardedUnderPersistentRefusal) {
-  DegradationGovernor gov;
+  // No widening headroom (max == base) and N == 1, so every sampled-rung
+  // allocation attempts a guard and every refusal costs a whole rung: the
+  // shortest path that still walks every rung of the 4-step ladder.
+  GovernorConfig cfg;
+  cfg.sample_rate = 1;
+  cfg.sample_rate_max = 1;
+  DegradationGovernor gov(cfg);
   vm::PhysArena arena(1u << 24);
   GuardedHeap heap(arena, {.governor = &gov});
   auto* a = static_cast<char*>(heap.malloc(32));  // guarded while healthy
@@ -285,11 +357,15 @@ TEST_F(FaultInjectionTest, LadderWalksToUnguardedUnderPersistentRefusal) {
       vm::sys::set_fault_plan("mmap:errno=ENOMEM,mprotect:errno=EINVAL"));
   auto* b = static_cast<char*>(heap.malloc(32));  // alias refused: rung 1 down
   ASSERT_NE(b, nullptr);
-  EXPECT_EQ(gov.mode(), GuardMode::kQuarantineOnly);
-  heap.free(a);  // revocation refused: rung 2 down
+  EXPECT_EQ(gov.mode(), GuardMode::kSampled);
+  auto* c = static_cast<char*>(heap.malloc(32));  // sampled guard refused too
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(gov.mode(), GuardMode::kQuarantineOnly);  // rung 2 down
+  heap.free(a);  // revocation refused: rung 3 down
   EXPECT_EQ(gov.mode(), GuardMode::kUnguarded);
-  EXPECT_EQ(gov.counters().transitions.load(), 2u);
+  EXPECT_EQ(gov.counters().transitions.load(), 3u);
   heap.free(b);  // unguarded passthrough still works
+  heap.free(c);
   vm::sys::clear_fault_plan();
 }
 
@@ -305,7 +381,7 @@ TEST_F(FaultInjectionTest, HysteresisRecoveryRestoresDetection) {
   ASSERT_TRUE(vm::sys::set_fault_plan("mmap:errno=ENOMEM:count=1"));
   auto* p = static_cast<char*>(heap.malloc(40));
   ASSERT_NE(p, nullptr);
-  ASSERT_EQ(gov.mode(), GuardMode::kQuarantineOnly);
+  ASSERT_EQ(gov.mode(), GuardMode::kSampled);
   void* scratch[10] = {};
   for (auto*& s : scratch) s = heap.malloc(16);  // clean streak, 10 >= 8
   EXPECT_EQ(gov.mode(), GuardMode::kFullGuard);
@@ -327,13 +403,23 @@ TEST_F(FaultInjectionTest, DegradedFreeNeverRaisesAFalsePositive) {
   vm::PhysArena arena(1u << 24);
   GuardedHeap heap(arena, {.governor = &gov});
   ASSERT_TRUE(vm::sys::set_fault_plan("mmap:errno=ENOMEM"));
-  auto* p = static_cast<char*>(heap.malloc(80));
+  auto* p = static_cast<char*>(heap.malloc(80));  // refusal: lands on sampled
   ASSERT_NE(p, nullptr);
+  // Force the ladder below the sampled rung so q is a true degraded pointer
+  // (canonical handed out, no ledger entry, no registry record).
+  gov.force_mode(GuardMode::kQuarantineOnly);
+  auto* q = static_cast<char*>(heap.malloc(48));
+  ASSERT_NE(q, nullptr);
   vm::sys::clear_fault_plan();
-  // Freeing the unguarded (canonical) pointer must not be mistaken for an
-  // invalid free: detection in degraded mode is suspended, never wrong.
-  const auto report = catch_dangling([&] { heap.free(launder_ptr(p)); });
-  EXPECT_FALSE(report.has_value());
+  // Freeing unguarded (canonical) pointers must not be mistaken for invalid
+  // frees: detection in degraded modes is suspended, never wrong. The
+  // sampled-fast pointer resolves through the ledger, the degraded one
+  // through the quarantine disposition.
+  const auto r1 = catch_dangling([&] { heap.free(launder_ptr(p)); });
+  EXPECT_FALSE(r1.has_value());
+  const auto r2 = catch_dangling([&] { heap.free(launder_ptr(q)); });
+  EXPECT_FALSE(r2.has_value());
+  EXPECT_GE(heap.stats().sampled_frees, 1u);
   EXPECT_GE(heap.stats().quarantined_frees, 1u);
 }
 

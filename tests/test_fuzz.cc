@@ -121,6 +121,31 @@ TEST(FuzzHarness, EveryMatrixCellRunsClean) {
   }
 }
 
+// Deeper lockstep sweep of the sampled lane than the matrix smoke above:
+// the oracle must track the engine op-for-op at every rate — N=1 (degenerate
+// full guard), a small N that mixes lanes heavily, and the production-shaped
+// N=64 where almost everything rides the ledgered fast path.
+TEST(FuzzHarness, SampledLaneLockstepAcrossRates) {
+  const std::uint64_t seed = dpg::testing::dpg_test_seed(31);
+  DPG_SEED_TRACE(seed);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{4},
+                              std::size_t{64}}) {
+    FuzzConfig cfg;
+    cfg.name = "sampled-lockstep-n" + std::to_string(n);
+    cfg.forced_mode = 1;  // core::GuardMode::kSampled
+    cfg.sample_rate = n;
+    cfg.gen.n_ops = 4000;
+    const Trace trace = generate(seed + n, cfg.gen);
+    const RunResult res = run_trace(cfg, trace, nullptr);
+    EXPECT_TRUE(res.ok()) << cfg.name << ": " << [&] {
+      std::string all;
+      for (const Divergence& d : res.divergences) all += d.detail + "\n";
+      return all;
+    }();
+    EXPECT_GT(res.executed, 0u) << cfg.name;
+  }
+}
+
 TEST(FuzzCrossChecks, BaselinesAgreeWithTheTraceModel) {
   const std::uint64_t seed = dpg::testing::dpg_test_seed(21);
   DPG_SEED_TRACE(seed);

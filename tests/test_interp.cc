@@ -175,6 +175,68 @@ func main() {
   EXPECT_EQ(report->kind, core::AccessKind::kFree);
 }
 
+// --rung/--sample-rate A/B knobs: by default the interpreter rides the
+// process-wide adaptive ladder (no private governor); pinning a rung gives
+// the run its own sticky governor.
+TEST(Interp, DefaultOptionsUseNoPrivateGovernor) {
+  const Module m = parse_module("func main() { ret }\n");
+  Interpreter interp(m, {.backend = Backend::kGuarded});
+  EXPECT_EQ(interp.governor(), nullptr);
+}
+
+TEST(Interp, ForcedSampledRateOneStillTrapsDangling) {
+  // N=1 on the sampled rung guards every allocation, so detection stays
+  // exact even though the run is pinned below full-guard.
+  const Module m = parse_module(R"(
+func main() {
+  p = malloc 1
+  free p
+  v = getfield p, 0
+  out v
+  ret
+}
+)");
+  Interpreter interp(m, {.backend = Backend::kGuarded,
+                         .forced_rung = 1,
+                         .sample_rate = 1});
+  ASSERT_NE(interp.governor(), nullptr);
+  EXPECT_EQ(interp.governor()->mode(), core::GuardMode::kSampled);
+  EXPECT_EQ(interp.governor()->sample_rate(), 1u);
+  const auto report = core::catch_dangling([&] { (void)interp.run(); });
+  EXPECT_TRUE(report.has_value());
+}
+
+TEST(Interp, ForcedQuarantineRungTradesDetectionForCompletion) {
+  // Same dangling program, pinned to quarantine-only: the free parks the
+  // block (still mapped, never recycled while quarantined), so the dangling
+  // read returns stale data instead of trapping — the rung's documented
+  // detection sacrifice.
+  const Module m = parse_module(R"(
+func main() {
+  p = malloc 1
+  free p
+  v = getfield p, 0
+  out v
+  ret
+}
+)");
+  Interpreter interp(m, {.backend = Backend::kGuarded, .forced_rung = 2});
+  ASSERT_NE(interp.governor(), nullptr);
+  EXPECT_EQ(interp.governor()->mode(), core::GuardMode::kQuarantineOnly);
+  const auto report = core::catch_dangling([&] { (void)interp.run(); });
+  EXPECT_FALSE(report.has_value());
+  // The pinned rung never drifts, even after the run.
+  EXPECT_EQ(interp.governor()->mode(), core::GuardMode::kQuarantineOnly);
+}
+
+TEST(Interp, SampleRateAloneKeepsAdaptiveLadderAtBaseRate) {
+  const Module m = parse_module("func main() { ret }\n");
+  Interpreter interp(m, {.backend = Backend::kGuarded, .sample_rate = 16});
+  ASSERT_NE(interp.governor(), nullptr);
+  EXPECT_EQ(interp.governor()->mode(), core::GuardMode::kFullGuard);
+  EXPECT_EQ(interp.governor()->sample_rate(), 16u);
+}
+
 TEST(Interp, MissingMainThrows) {
   const Module m = parse_module("func helper() { ret }");
   Interpreter interp(m, {.backend = Backend::kGuarded});

@@ -162,4 +162,42 @@ TEST(Pirc, NoElideStillRunsSafePrograms) {
   EXPECT_EQ(elided.output, guarded.output);
 }
 
+// --rung/--sample-rate A/B knobs. Rate 1 on the sampled rung guards every
+// allocation, so Figure 1's dangling read still exits 42; the quarantine
+// rung parks the freed block instead of revoking it, so the same program
+// runs to completion — the overhead-vs-detection trade, visible from the
+// exit code alone.
+TEST(Pirc, SampledRungRateOneStillDetectsFigure1) {
+  const RunResult r = run_pirc("--rung=sampled --sample-rate=1 " + kFigure1);
+  EXPECT_EQ(r.exit_code, 42) << r.output;
+  EXPECT_NE(r.output.find("dangling read"), std::string::npos) << r.output;
+}
+
+TEST(Pirc, QuarantineRungRunsFigure1ToCompletion) {
+  const RunResult r = run_pirc("--rung=quarantine " + kFigure1);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Pirc, RungKnobDoesNotChangeCleanProgramOutput) {
+  const RunResult full = run_pirc(kSumtree + " -- 5");
+  for (const char* rung : {"full", "sampled", "quarantine", "unguarded"}) {
+    const RunResult r =
+        run_pirc("--rung=" + std::string(rung) + " " + kSumtree + " -- 5");
+    EXPECT_EQ(r.exit_code, 0) << rung << ": " << r.output;
+    // The governor announces the forced policy shift on stderr; the program
+    // output itself must be byte-identical to the full-guard run.
+    EXPECT_NE(r.output.find(full.output), std::string::npos) << rung << ": "
+                                                             << r.output;
+  }
+}
+
+TEST(Pirc, BadRungOrSampleRateIsUsageError) {
+  for (const char* flag :
+       {"--rung=bogus", "--sample-rate=0", "--sample-rate=abc"}) {
+    const RunResult r = run_pirc(std::string(flag) + " " + kSumtree);
+    EXPECT_EQ(r.exit_code, 1) << flag << ": " << r.output;
+    EXPECT_NE(r.output.find("usage"), std::string::npos) << flag;
+  }
+}
+
 }  // namespace

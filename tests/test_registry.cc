@@ -1,7 +1,9 @@
 // Unit tests for the async-signal-safe shadow registry.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/registry.h"
@@ -128,6 +130,47 @@ TEST(Registry, TombstoneChurnDoesNotLoseEntries) {
     EXPECT_EQ(reg.lookup(rec->shadow_base), rec.get());
     reg.erase(*rec);
   }
+}
+
+TEST(Registry, CompactionUnderConcurrentReadersStaysCorrect) {
+  // Fresh-key insert/erase churn accumulates tombstones until the table
+  // rehashes — often into a SAME-size replacement (a compaction). The old
+  // table is freed as soon as the reader epoch drains, so concurrent lookups
+  // racing dozens of such swaps must keep resolving hits and misses exactly
+  // (this pins the endurance-soak fix: compacted-out tables used to be
+  // retired forever, a table-sized leak per compaction).
+  ShadowRegistry reg(64);
+  auto anchor = make_record(0x7400000000, 1);
+  reg.insert(*anchor);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        EXPECT_EQ(reg.lookup(0x7400000000), anchor.get());
+        EXPECT_EQ(reg.lookup(0x7F00000000), nullptr);
+      }
+    });
+  }
+  // Every insert uses a never-seen page, so tombstones only accumulate and
+  // the table compacts repeatedly underneath the readers.
+  std::uintptr_t next = 0x7500000000;
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::unique_ptr<ObjectRecord>> batch;
+    for (int i = 0; i < 64; ++i) {
+      auto rec = make_record(next += vm::kPageSize, 1);
+      reg.insert(*rec);
+      batch.push_back(std::move(rec));
+    }
+    for (auto& rec : batch) {
+      EXPECT_EQ(reg.lookup(rec->shadow_base), rec.get());
+      reg.erase(*rec);
+    }
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(reg.entries(), 1u);
+  reg.erase(*anchor);
 }
 
 TEST(Registry, LookupMissOnEmptyRegistry) {

@@ -247,6 +247,50 @@ TEST(VaFreeList, ZeroLengthPutIgnored) {
   EXPECT_EQ(list.ranges(), 0u);
 }
 
+TEST(VaFreeList, TrimHysteresisDampsOscillation) {
+  VaFreeList list;
+  list.set_trim_limit(4);
+  list.set_trim_hysteresis(3);
+  std::uintptr_t next = 0x600000;
+  // Filling to the limit starts the streak (the 4th put checks over-water);
+  // only the 3rd consecutive over-water donation pays the drain.
+  for (int i = 0; i < 4; ++i) list.put(PageRange{next += kPageSize, kPageSize});
+  EXPECT_EQ(list.trims(), 0u);
+  list.put(PageRange{next += kPageSize, kPageSize});  // streak 2
+  EXPECT_EQ(list.trims(), 0u);
+  EXPECT_EQ(list.ranges(), 5u);
+  list.put(PageRange{next += kPageSize, kPageSize});  // streak 3: drain
+  EXPECT_EQ(list.trims(), 1u);
+  EXPECT_EQ(list.ranges(), 0u);
+}
+
+TEST(VaFreeList, TakeResetsTrimStreakOnlyWhenUnderLimit) {
+  VaFreeList list;
+  list.set_trim_limit(4);
+  list.set_trim_hysteresis(3);
+  std::uintptr_t next = 0x700000;
+  for (int i = 0; i < 5; ++i) list.put(PageRange{next += kPageSize, kPageSize});
+  // Streak 2 (the 4th and 5th puts were over-water). A take that leaves the
+  // count AT the limit has not relieved the pressure, so it must not restart
+  // the streak — the list is still one donation away from the same state.
+  (void)list.take(kPageSize);  // count 4 == limit: streak preserved
+  list.put(PageRange{next += kPageSize, kPageSize});  // streak 3: drain
+  EXPECT_EQ(list.trims(), 1u);
+  EXPECT_EQ(list.ranges(), 0u);
+
+  // A take that pulls the count back UNDER the limit does relieve it: the
+  // streak restarts and a fresh run of over-water donations is required.
+  next = 0xa00000;
+  for (int i = 0; i < 5; ++i) list.put(PageRange{next += kPageSize, kPageSize});
+  (void)list.take(kPageSize);  // count 4: preserved
+  (void)list.take(kPageSize);  // count 3 < limit: streak reset
+  list.put(PageRange{next += kPageSize, kPageSize});  // streak 1
+  list.put(PageRange{next += kPageSize, kPageSize});  // streak 2
+  EXPECT_EQ(list.trims(), 1u);  // not yet
+  list.put(PageRange{next += kPageSize, kPageSize});  // streak 3: drain
+  EXPECT_EQ(list.trims(), 2u);
+}
+
 TEST(SyscallCounters, TotalSumsComponents) {
   SyscallCounters counters;
   counters.mmap = 2;

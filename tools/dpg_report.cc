@@ -58,8 +58,21 @@ const char* kind_name(std::uint32_t k) {
 
 // Mirrors core::GuardMode.
 const char* mode_name(std::uint32_t m) {
-  static const char* names[] = {"full-guard", "quarantine-only", "unguarded"};
-  return m < 3 ? names[m] : "?";
+  static const char* names[] = {"full-guard", "sampled", "quarantine-only",
+                                "unguarded"};
+  return m < 4 ? names[m] : "?";
+}
+
+// Rung label for fleet aggregation: the sampled rung is only meaningful
+// together with its effective rate ("sampled:1-in-64" and "sampled:1-in-8192"
+// are different operating points), so the N the governor was running at dump
+// time is folded into the key.
+std::string rung_label(std::uint32_t mode, std::uint32_t sample_rate) {
+  std::string label = mode_name(mode);
+  if (mode == 1 && sample_rate != 0) {
+    label += ":1-in-" + std::to_string(sample_rate);
+  }
+  return label;
 }
 
 const char* event_kind_name(std::uint16_t k) {
@@ -552,7 +565,10 @@ void print_human(const std::string& path, const ParsedDump& d,
   }
   if (d.has_ladder) {
     std::printf("  guard mode: %s (%zu ladder transitions recorded)\n",
-                mode_name(d.ladder_hdr.current_mode), d.ladder.size());
+                rung_label(d.ladder_hdr.current_mode,
+                           d.ladder_hdr.sample_rate)
+                    .c_str(),
+                d.ladder.size());
     for (const auto& e : d.ladder) {
       std::printf("    %s -> %s (%s)%s\n", mode_name(e.from_mode),
                   mode_name(e.to_mode), e.reason,
@@ -631,8 +647,9 @@ void print_json(const std::string& path, const ParsedDump& d, Symbolizer& sym,
     std::printf("}");
   }
   if (d.has_ladder) {
-    std::printf(",\"guard_mode\":\"%s\",\"ladder\":[",
-                mode_name(d.ladder_hdr.current_mode));
+    std::printf(",\"guard_mode\":\"%s\",\"sample_rate\":%u,\"ladder\":[",
+                mode_name(d.ladder_hdr.current_mode),
+                d.ladder_hdr.sample_rate);
     for (std::size_t i = 0; i < d.ladder.size(); ++i) {
       const auto& e = d.ladder[i];
       std::printf("%s{\"from\":\"%s\",\"to\":\"%s\",\"reason\":\"%s\","
@@ -660,7 +677,7 @@ struct Group {
   std::uint64_t count = 0;
   std::uint64_t first_ns = UINT64_MAX;
   std::uint64_t last_ns = 0;
-  std::map<std::uint32_t, std::uint64_t> rungs;  // guard mode -> dumps
+  std::map<std::string, std::uint64_t> rungs;  // rung label -> dumps
   std::string kind;
   std::string top_frame;  // exemplar use-site for the summary line
   std::string reason;
@@ -712,7 +729,9 @@ int aggregate(const std::string& dir, bool json, bool symbols,
       g.last_ns = std::max(g.last_ns, d.meta.realtime_ns);
       g.reason = d.meta.reason;
     }
-    ++g.rungs[d.has_ladder ? d.ladder_hdr.current_mode : 0];
+    ++g.rungs[d.has_ladder ? rung_label(d.ladder_hdr.current_mode,
+                                        d.ladder_hdr.sample_rate)
+                           : rung_label(0, 0)];
     if (d.has_report) {
       g.kind = kind_name(d.report.kind);
       if (g.top_frame.empty() && d.report.use_stack_depth != 0) {
@@ -746,8 +765,8 @@ int aggregate(const std::string& dir, bool json, bool symbols,
                                             : "",
                   format_time(g->last_ns).c_str());
       bool rf = true;
-      for (const auto& [mode, n] : g->rungs) {
-        std::printf("%s\"%s\":%llu", rf ? "" : ",", mode_name(mode),
+      for (const auto& [rung, n] : g->rungs) {
+        std::printf("%s\"%s\":%llu", rf ? "" : ",", json_escape(rung).c_str(),
                     static_cast<unsigned long long>(n));
         rf = false;
       }
@@ -768,8 +787,8 @@ int aggregate(const std::string& dir, bool json, bool symbols,
                                             : "-",
                   format_time(g->last_ns).c_str());
       std::printf("      rungs:");
-      for (const auto& [mode, n] : g->rungs) {
-        std::printf(" %s=%llu", mode_name(mode),
+      for (const auto& [rung, n] : g->rungs) {
+        std::printf(" %s=%llu", rung.c_str(),
                     static_cast<unsigned long long>(n));
       }
       std::printf("\n");

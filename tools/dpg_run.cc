@@ -4,6 +4,7 @@
 //
 //   dpg_run [--report-dir DIR] [--depth N] [--no-analyze] [--lib PATH] --
 //           victim [args...]
+//   dpg_run [--report-dir DIR] --soak [dpg_soak args...]
 //
 //   1. locates libdpg_preload.so next to this binary (../src/ in a build
 //      tree, then the binary's own directory) unless --lib overrides it;
@@ -15,8 +16,19 @@
 //      appeared), runs dpg_report on the newest .dpgcrash so the diagnosis
 //      lands in the operator's terminal, not just on disk.
 //
+// --soak replaces the victim with the endurance harness: dpg_run locates
+// dpg_soak next to itself, arms the snapshot writer with its own
+// --report-dir (unless the passthrough args carry one), and execs it with
+// everything after --soak forwarded verbatim. One entry point covers both
+// halves of the operator workflow — wrap a production binary, or soak the
+// guard engine itself — and the crash dumps land in the same report dir
+// either way.
+//
 // Exit status mirrors the victim: its exit code, or 128+signal when it died
-// on one — dpg_run is transparent to scripts and CI.
+// on one — dpg_run is transparent to scripts and CI. Under --soak the status
+// is dpg_soak's: 0 endurance gate passed, 1 usage error, 2 gate failed
+// (monotonic drift on a gated series, or no demote/recover cycle while fault
+// injection was on), 3 internal error.
 #include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -92,7 +104,8 @@ std::string newest_dump(const std::string& dir) {
 int usage() {
   std::fprintf(stderr,
                "usage: dpg_run [--report-dir DIR] [--depth N] [--no-analyze] "
-               "[--lib PATH] [--] victim [args...]\n");
+               "[--lib PATH] [--] victim [args...]\n"
+               "       dpg_run [--report-dir DIR] --soak [dpg_soak args...]\n");
   return 1;
 }
 
@@ -122,6 +135,28 @@ int main(int argc, char** argv) {
       lib = argv[++i];
     } else if (arg == "--no-analyze") {
       analyze = false;
+    } else if (arg == "--soak") {
+      // Endurance passthrough: everything after --soak goes to dpg_soak
+      // verbatim. Arm the snapshot writer with our report dir unless the
+      // forwarded args already pick one, so ladder-transition dumps land
+      // where dpg_report expects them.
+      const std::string soak_bin = self_dir() + "/dpg_soak";
+      std::vector<char*> soak_argv;
+      soak_argv.push_back(const_cast<char*>("dpg_soak"));
+      bool has_report_dir = false;
+      for (int j = i + 1; j < argc; ++j) {
+        if (std::strcmp(argv[j], "--report-dir") == 0) has_report_dir = true;
+        soak_argv.push_back(argv[j]);
+      }
+      if (!has_report_dir) {
+        soak_argv.push_back(const_cast<char*>("--report-dir"));
+        soak_argv.push_back(const_cast<char*>(report_dir.c_str()));
+      }
+      soak_argv.push_back(nullptr);
+      mkdir(report_dir.c_str(), 0755);  // best-effort; preexisting is fine
+      execv(soak_bin.c_str(), soak_argv.data());
+      std::perror("dpg_run: exec dpg_soak");
+      return 1;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {

@@ -14,6 +14,13 @@
 //                     non-SAFE site page-guarded), tag (every non-SAFE site
 //                     on the lock-and-key lane), auto (chooser policy;
 //                     default)
+//     --rung=R        pin the degradation governor to one rung for the run:
+//                     full | sampled | quarantine | unguarded. The run gets
+//                     a private sticky governor, so it neither reads nor
+//                     perturbs process-wide ladder pressure — the A/B knob
+//                     for overhead-vs-detection sweeps.
+//     --sample-rate=N sampled rung guards 1-in-N allocations (with --rung=
+//                     sampled, or as the adaptive ladder's base rate)
 //     --no-elide      ignore the SiteSafety table (guard every site)
 //     --no-verify     skip the module verifier
 //
@@ -51,8 +58,9 @@ constexpr int kExitDangling = 42;
 int usage() {
   std::fprintf(stderr,
                "usage: pirc [--dump|--transform|--pools|--lint|--lint-json|"
-               "--native|--run] [--scheme=guard|tag|auto] [--no-elide] "
-               "[--no-verify] program.pir [-- main-args...]\n");
+               "--native|--run] [--scheme=guard|tag|auto] "
+               "[--rung=full|sampled|quarantine|unguarded] [--sample-rate=N] "
+               "[--no-elide] [--no-verify] program.pir [-- main-args...]\n");
   return kExitUsage;
 }
 
@@ -160,6 +168,8 @@ int main(int argc, char** argv) {
   bool verify = true;
   bool elide = true;
   std::string scheme_mode = "auto";
+  int forced_rung = -1;
+  std::size_t sample_rate = 0;
   std::string path;
   std::vector<std::uint64_t> main_args;
   bool in_args = false;
@@ -188,6 +198,24 @@ int main(int argc, char** argv) {
           scheme_mode != "auto") {
         return usage();
       }
+    } else if (arg.rfind("--rung=", 0) == 0) {
+      const std::string rung = arg.substr(std::strlen("--rung="));
+      if (rung == "full") {
+        forced_rung = 0;
+      } else if (rung == "sampled") {
+        forced_rung = 1;
+      } else if (rung == "quarantine") {
+        forced_rung = 2;
+      } else if (rung == "unguarded") {
+        forced_rung = 3;
+      } else {
+        return usage();
+      }
+    } else if (arg.rfind("--sample-rate=", 0) == 0) {
+      char* end = nullptr;
+      const char* text = arg.c_str() + std::strlen("--sample-rate=");
+      sample_rate = std::strtoull(text, &end, 0);
+      if (end == text || *end != '\0' || sample_rate == 0) return usage();
     } else if (arg == "--no-elide") {
       elide = false;
     } else if (arg == "--no-verify") {
@@ -294,7 +322,9 @@ int main(int argc, char** argv) {
 
     Interpreter interp(transformed.module, {.backend = Backend::kGuarded,
                                             .verify = false,
-                                            .honor_safety = elide});
+                                            .honor_safety = elide,
+                                            .forced_rung = forced_rung,
+                                            .sample_rate = sample_rate});
     const auto report = dpg::core::catch_dangling([&] {
       const InterpResult result = interp.run(main_args);
       for (const std::uint64_t v : result.output) std::printf("%llu\n",
