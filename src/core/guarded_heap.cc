@@ -71,9 +71,38 @@ ShadowEngine::ShadowEngine(vm::PhysArena& arena, alloc::MallocLike& under,
       gov_(cfg.governor != nullptr ? cfg.governor
                                    : &DegradationGovernor::process()),
       sampled_(cfg.sampled_table != nullptr ? cfg.sampled_table
-                                            : &own_sampled_) {
+                                            : &own_sampled_),
+      revoker_(cfg.revoker != nullptr ? cfg.revoker : &own_revoker_) {
   head_.prev = &head_;
   head_.next = &head_;
+  revoker_->init(cfg_.revoke_backend);
+  // Normalize the batch knobs to the resolved backend: a forced per-free
+  // backend must not be silently batched, and a forced batched backend needs
+  // at least one flush trigger. kAuto keeps the legacy knob semantics
+  // byte-for-byte; kPkey composes with whatever batching is configured.
+  switch (revoker_->active()) {
+    case vm::RevokeBackend::kMprotect:
+      cfg_.protect_batch = 0;
+      cfg_.protect_batch_bytes = 0;
+      break;
+    case vm::RevokeBackend::kBatched:
+      if (cfg_.protect_batch <= 1 && cfg_.protect_batch_bytes == 0) {
+        cfg_.protect_batch = 64;
+      }
+      break;
+    case vm::RevokeBackend::kAuto:
+    case vm::RevokeBackend::kPkey:
+      break;
+  }
+  if (const int err = revoker_->consume_fallback_errno(); err != 0) {
+    // pkey was requested but pkey_alloc refused (ENOSYS/ENOSPC/injected):
+    // exactly one engine per Revoker lands here and reports the ladder
+    // event. Detection stays full through the batched mprotect path.
+    gov_->on_pkey_fallback(err);
+    obs::record_event(obs::EventKind::kPkeyFallback,
+                      static_cast<std::uintptr_t>(err), 0);
+  }
+  revoker_->attach_thread();
   // Magazines need every span page to be an arena alias; a trailing guard
   // page cannot come from the magazine, so the config is mutually exclusive.
   if (cfg_.magazine_slots >= 2 && !cfg_.trailing_guard_page) {
@@ -90,6 +119,11 @@ ShadowEngine::~ShadowEngine() { release_all(); }
 
 void* ShadowEngine::malloc(std::size_t size, SiteId site) {
   obs::ScopedLatency lat(obs::Hist::kAllocNs);
+  // Every entry path installs the thread's PKRU denial of the revoked key
+  // (pure register write, no-op unless the pkey backend is active), so any
+  // thread that touches the heap is guaranteed to trap on revoked spans
+  // without depending on the kernel's init_pkru default.
+  revoker_->attach_thread();
   stage_alloc_stack();
   std::lock_guard lock(mu_);
   return do_alloc_locked(size, site);
@@ -101,6 +135,7 @@ void* ShadowEngine::calloc(std::size_t count, std::size_t size, SiteId site) {
   }
   const std::size_t total = count * size;
   obs::ScopedLatency lat(obs::Hist::kAllocNs);
+  revoker_->attach_thread();
   stage_alloc_stack();
   std::lock_guard lock(mu_);
   void* p = do_alloc_locked(total, site);
@@ -111,6 +146,7 @@ void* ShadowEngine::calloc(std::size_t count, std::size_t size, SiteId site) {
 
 void* ShadowEngine::malloc_unguarded(std::size_t size, SiteId site) {
   (void)site;  // diagnostics parity with malloc; nothing to record per object
+  revoker_->attach_thread();
   std::lock_guard lock(mu_);
   void* p = alloc_canonical_locked(size);
   if (p != nullptr) {
@@ -122,12 +158,14 @@ void* ShadowEngine::malloc_unguarded(std::size_t size, SiteId site) {
 void ShadowEngine::free_unguarded(void* p, SiteId site) {
   (void)site;
   if (p == nullptr) return;
+  revoker_->attach_thread();
   std::lock_guard lock(mu_);
   under_.free(p);
 }
 
 void* ShadowEngine::realloc(void* p, std::size_t new_size, SiteId site) {
   if (p == nullptr) return malloc(new_size, site);
+  revoker_->attach_thread();
   // One capture serves both halves of the move: the new record's alloc stack
   // and the old record's free stack are the same realloc call site.
   stage_alloc_stack();
@@ -312,6 +350,93 @@ void* ShadowEngine::install_record_locked(void* shadow_base,
   return reinterpret_cast<void*>(rec->user_shadow);
 }
 
+// Per-shard MAP_FIXED recycle cache (DESIGN.md §16). Parked spans are kept
+// sorted by base and merged with contiguous neighbours, so the slot-sized
+// spans a dying magazine generation sheds — its unclaimed runs at retirement
+// plus each claimed slot as its object is later freed — reassemble into the
+// full window-sized run the *next* generation claims with one MAP_FIXED
+// re-alias. That closed loop is what starves the shared freelist: without it
+// the tuned configuration donates slot fragments faster than any consumer
+// takes them and the list's high-water trim turns into the mt_server_t8
+// munmap storm (ROADMAP item 1).
+//
+// take_recycled_locked prefers an exact fit and otherwise splits the
+// smallest larger run (prefix out, remainder stays parked — the split is
+// transient because released spans coalesce right back). All consumers remap
+// the returned range with mmap(MAP_FIXED), which atomically replaces
+// whatever dead mapping occupies it; merged runs of mixed provenance
+// (revoked aliases, anonymous guard tails) are therefore interchangeable.
+// park_recycled_locked returns false when the cache is off or full, in which
+// case the caller falls through to the legacy freelist/munmap disposition.
+void* ShadowEngine::take_recycled_locked(std::size_t len) noexcept {
+  std::size_t best = va_recycle_.size();
+  for (std::size_t i = 0; i < va_recycle_.size(); ++i) {
+    const std::size_t l = va_recycle_[i].length;
+    if (l == len) {
+      best = i;
+      break;
+    }
+    if (l > len &&
+        (best == va_recycle_.size() || l < va_recycle_[best].length)) {
+      best = i;
+    }
+  }
+  if (best == va_recycle_.size()) return nullptr;
+  vm::PageRange& r = va_recycle_[best];
+  void* p = reinterpret_cast<void*>(r.base);
+  if (r.length == len) {
+    va_recycle_.erase(va_recycle_.begin() + static_cast<std::ptrdiff_t>(best));
+  } else {
+    r.base += len;  // prefix out; remainder keeps its sort position
+    r.length -= len;
+  }
+  stats_.window_recycle_hits.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+bool ShadowEngine::park_recycled_locked(vm::PageRange span) {
+  if (!cfg_.reuse_shadow_va || cfg_.window_recycle_cap == 0) return false;
+  auto it = std::lower_bound(
+      va_recycle_.begin(), va_recycle_.end(), span.base,
+      [](const vm::PageRange& r, std::uintptr_t b) { return r.base < b; });
+  bool merged = false;
+  if (it != va_recycle_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->base + prev->length == span.base) {
+      prev->length += span.length;
+      // The span may bridge prev and it into one run.
+      if (it != va_recycle_.end() && prev->base + prev->length == it->base) {
+        prev->length += it->length;
+        va_recycle_.erase(it);
+      }
+      merged = true;
+    }
+  }
+  if (!merged && it != va_recycle_.end() &&
+      span.base + span.length == it->base) {
+    it->base = span.base;
+    it->length += span.length;
+    merged = true;
+  }
+  if (!merged) {
+    if (va_recycle_.size() >= cfg_.window_recycle_cap) return false;
+    va_recycle_.insert(it, span);
+  }
+  stats_.window_recycle_puts.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShadowEngine::drain_recycled_locked() {
+  for (const vm::PageRange& span : va_recycle_) {
+    if (shadow_freelist_ != nullptr) {
+      shadow_freelist_->put(span);
+    } else {
+      arena_.unmap(reinterpret_cast<void*>(span.base), span.length);
+    }
+  }
+  va_recycle_.clear();
+}
+
 void* ShadowEngine::magazine_claim_locked(std::uintptr_t first_page,
                                           std::size_t data_span) {
   // Windows tile the arena's *file-offset* space, so a window's slab in the
@@ -371,10 +496,11 @@ void* ShadowEngine::magazine_claim_locked(std::uintptr_t first_page,
   }
 
   // First touch of this window (or a fresh generation after retirement).
-  // Prefer a recycled window-sized VA; take_exact never splits a larger
-  // span, so the magazine path cannot fragment the single-span donors.
-  void* fixed = nullptr;
-  if (cfg_.reuse_shadow_va && shadow_freelist_ != nullptr) {
+  // Prefer a recycled window-sized VA — the per-shard cache first, then the
+  // shared list; take_exact never splits a larger span, so the magazine path
+  // cannot fragment the single-span donors.
+  void* fixed = take_recycled_locked(win);
+  if (fixed == nullptr && cfg_.reuse_shadow_va && shadow_freelist_ != nullptr) {
     if (auto reused = shadow_freelist_->take_exact(win)) {
       fixed = reinterpret_cast<void*>(reused->base);
     }
@@ -382,9 +508,13 @@ void* ShadowEngine::magazine_claim_locked(std::uintptr_t first_page,
   const vm::sys::MapResult res =
       mapper_.try_alias_bulk(reinterpret_cast<void*>(window_base), win, fixed);
   if (!res.ok()) {
-    if (fixed != nullptr && shadow_freelist_ != nullptr) {
+    if (fixed != nullptr) {
       // MAP_FIXED failure leaves the old mapping intact: still reusable.
-      shadow_freelist_->put(vm::PageRange{vm::addr(fixed), win});
+      if (shadow_freelist_ != nullptr) {
+        shadow_freelist_->put(vm::PageRange{vm::addr(fixed), win});
+      } else {
+        (void)park_recycled_locked(vm::PageRange{vm::addr(fixed), win});
+      }
     }
     // Caller takes the per-object path, which owns failure/degradation.
     return nullptr;
@@ -441,10 +571,14 @@ void ShadowEngine::retire_magazine_locked(std::uintptr_t window_base,
     }
     const vm::PageRange run{m.shadow_base + s * vm::kPageSize,
                             (e - s) * vm::kPageSize};
-    if (shadow_freelist_ != nullptr) {
-      shadow_freelist_->put(run);
-    } else {
-      arena_.unmap(reinterpret_cast<void*>(run.base), run.length);
+    // A parked run waits on the per-shard cache for a same-size MAP_FIXED
+    // re-alias (a whole window when the generation retired unclaimed).
+    if (!park_recycled_locked(run)) {
+      if (shadow_freelist_ != nullptr) {
+        shadow_freelist_->put(run);
+      } else {
+        arena_.unmap(reinterpret_cast<void*>(run.base), run.length);
+      }
     }
     stats_.magazine_slots_recycled.fetch_add(e - s,
                                              std::memory_order_relaxed);
@@ -481,8 +615,8 @@ void* ShadowEngine::guarded_alloc_locked(std::size_t size, SiteId site) {
     }
   }
 
-  void* fixed = nullptr;
-  if (cfg_.reuse_shadow_va && shadow_freelist_ != nullptr) {
+  void* fixed = take_recycled_locked(span_len);
+  if (fixed == nullptr && cfg_.reuse_shadow_va && shadow_freelist_ != nullptr) {
     if (auto reused = shadow_freelist_->take(span_len)) {
       fixed = reinterpret_cast<void*>(reused->base);
     }
@@ -527,10 +661,14 @@ void* ShadowEngine::guarded_alloc_locked(std::size_t size, SiteId site) {
   }
   if (!alias.ok()) {
     under_.free(canonical);
-    if (fixed != nullptr && shadow_freelist_ != nullptr) {
+    if (fixed != nullptr) {
       // MAP_FIXED failure leaves the old mapping intact: the range is still
       // reusable, so it goes back on the list rather than leaking.
-      shadow_freelist_->put(vm::PageRange{vm::addr(fixed), span_len});
+      if (shadow_freelist_ != nullptr) {
+        shadow_freelist_->put(vm::PageRange{vm::addr(fixed), span_len});
+      } else {
+        (void)park_recycled_locked(vm::PageRange{vm::addr(fixed), span_len});
+      }
     }
     stats_.guard_failures.fetch_add(1, std::memory_order_relaxed);
     gov_->on_syscall_failure("shadow-alias", alias.err);
@@ -553,6 +691,7 @@ void* ShadowEngine::guarded_alloc_locked(std::size_t size, SiteId site) {
 void ShadowEngine::free(void* p, SiteId site) {
   if (p == nullptr) return;
   obs::ScopedLatency lat(obs::Hist::kFreeNs);
+  revoker_->attach_thread();
   stage_free_stack();
   std::unique_lock lock(mu_);
   free_locked(lock, p, site);
@@ -624,12 +763,17 @@ void ShadowEngine::revoke_locked(ObjectRecord* rec) {
     pending_protect_bytes_ += rec->span_length;
     return;
   }
-  const vm::sys::IoResult pr = arena_.try_revoke(
-      reinterpret_cast<void*>(rec->shadow_base), rec->span_length);
+  // Backend dispatch: PROT_NONE through the arena, or a retag to the revoked
+  // protection key (vm/revoke.h) — either way the span traps from here on.
+  const vm::sys::IoResult pr = revoker_->revoke(
+      arena_, reinterpret_cast<void*>(rec->shadow_base), rec->span_length);
   stats_.protect_calls.fetch_add(1, std::memory_order_relaxed);
   freed_bytes_held_ += rec->span_length;
   rec->revocation_done = true;
   if (pr.ok()) {
+    if (revoker_->pkey_active()) {
+      stats_.pkey_revocations.fetch_add(1, std::memory_order_relaxed);
+    }
     stats_.revoked_spans.fetch_add(1, std::memory_order_relaxed);
     under_.free(reinterpret_cast<void*>(rec->canonical));
   } else {
@@ -764,6 +908,7 @@ void ShadowEngine::free_locked(std::unique_lock<std::mutex>& lock, void* p,
 void ShadowEngine::free_remote(void* p, SiteId site) {
   if (p == nullptr) return;
   obs::ScopedLatency lat(obs::Hist::kFreeNs);
+  revoker_->attach_thread();
   stage_free_stack();
   const std::uintptr_t user = vm::addr(p);
   const ObjectRecord* found = ShadowRegistry::global().lookup(user);
@@ -884,13 +1029,16 @@ void ShadowEngine::flush_protections_locked() {
       stats_.protect_calls_saved.fetch_add(1, std::memory_order_relaxed);
       ++j;
     }
-    const vm::sys::IoResult r = arena_.try_revoke(
-        reinterpret_cast<void*>(run_base), run_len);
+    const vm::sys::IoResult r = revoker_->revoke(
+        arena_, reinterpret_cast<void*>(run_base), run_len);
     stats_.protect_calls.fetch_add(1, std::memory_order_relaxed);
     if (r.ok()) {
       if (j - i > 1) {
         stats_.revoke_coalesced_pages.fetch_add(run_len / vm::kPageSize,
                                                 std::memory_order_relaxed);
+      }
+      if (revoker_->pkey_active()) {
+        stats_.pkey_revocations.fetch_add(j - i, std::memory_order_relaxed);
       }
       stats_.revoked_spans.fetch_add(j - i, std::memory_order_relaxed);
       for (std::size_t k = i; k < j; ++k) {
@@ -905,12 +1053,16 @@ void ShadowEngine::flush_protections_locked() {
       gov_->on_syscall_failure("protect-batch", r.err);
       for (std::size_t k = i; k < j; ++k) {
         ObjectRecord* rec = pending_protect_[k];
-        const vm::sys::IoResult r2 = arena_.try_revoke(
-            reinterpret_cast<void*>(rec->shadow_base), rec->span_length);
+        const vm::sys::IoResult r2 = revoker_->revoke(
+            arena_, reinterpret_cast<void*>(rec->shadow_base),
+            rec->span_length);
         stats_.protect_calls.fetch_add(1, std::memory_order_relaxed);
         freed_bytes_held_ += rec->span_length;
         rec->revocation_done = true;
         if (r2.ok()) {
+          if (revoker_->pkey_active()) {
+            stats_.pkey_revocations.fetch_add(1, std::memory_order_relaxed);
+          }
           stats_.revoked_spans.fetch_add(1, std::memory_order_relaxed);
           under_.free(reinterpret_cast<void*>(rec->canonical));
         } else {
@@ -964,7 +1116,12 @@ void ShadowEngine::unlink_locked(ObjectRecord* rec) noexcept {
 void ShadowEngine::release_record_locked(ObjectRecord* rec, bool recycle_va) {
   ShadowRegistry::global().erase(*rec);
   const vm::PageRange span{rec->shadow_base, rec->span_length};
-  if (recycle_va && shadow_freelist_ != nullptr) {
+  if (recycle_va && park_recycled_locked(span)) {
+    // Parked for a same-size MAP_FIXED re-alias on this shard: no freelist
+    // round trip and no munmap. The span is as dead as a freelist span —
+    // every release_record_locked caller proved no pointers remain.
+    obs::record_event(obs::EventKind::kVaReclaim, span.base, span.pages());
+  } else if (recycle_va && shadow_freelist_ != nullptr) {
     shadow_freelist_->put(span);  // records the kVaReclaim event
   } else {
     arena_.unmap(reinterpret_cast<void*>(span.base), span.length);
@@ -994,6 +1151,7 @@ void ShadowEngine::release_all() {
     release_record_locked(head_.next, /*recycle_va=*/true);
   }
   drop_magazines_locked();
+  drain_recycled_locked();
 }
 
 std::size_t ShadowEngine::reclaim_freed(std::size_t bytes) {

@@ -54,6 +54,7 @@
 #include "core/registry.h"
 #include "core/sampled.h"
 #include "core/stats.h"
+#include "vm/revoke.h"
 #include "vm/shadow_map.h"
 #include "vm/va_freelist.h"
 
@@ -116,6 +117,26 @@ struct GuardConfig {
   // keeps a private table, correct for single-engine owners (GuardedHeap,
   // pools whose frees route back to the allocating pool).
   SampledTable* sampled_table = nullptr;
+  // Revocation backend (vm/revoke.h). kAuto keeps the legacy behaviour (the
+  // batch knobs above decide) unless DPG_REVOKE_BACKEND overrides it.
+  // kMprotect forces the per-free path (batch knobs cleared), kBatched forces
+  // the queue (protect_batch defaults to 64 if neither knob is set), kPkey
+  // retags freed spans to the revoked protection key — composing with
+  // whatever batching is configured — and falls back to kBatched when
+  // pkey_alloc is refused.
+  vm::RevokeBackend revoke_backend = vm::RevokeBackend::kAuto;
+  // Shared Revoker (ShardedHeap passes one so all shards deny a single key
+  // and pay one pkey_alloc); nullptr = the engine owns a private one.
+  vm::Revoker* revoker = nullptr;
+  // MAP_FIXED VA recycling: released shadow spans and retired magazine runs
+  // park on a per-shard list (bounded to this many discontiguous runs)
+  // instead of round-tripping through the shared VaFreeList. Parked spans
+  // coalesce with contiguous neighbours, so a dying magazine generation's
+  // slots reassemble into the window-sized run the next generation claims
+  // with one MAP_FIXED re-alias — no freelist mutex, no trim-drain munmap
+  // storm, no VMA churn. Overflow and teardown fall through to the shared
+  // freelist as before. 0 = off (legacy behaviour).
+  std::size_t window_recycle_cap = 0;
 };
 
 class ShadowEngine {
@@ -263,6 +284,9 @@ class ShadowEngine {
                               std::uintptr_t first_page, std::size_t size,
                               SiteId site);
   void* magazine_claim_locked(std::uintptr_t first_page, std::size_t data_span);
+  void* take_recycled_locked(std::size_t len) noexcept;
+  bool park_recycled_locked(vm::PageRange span);
+  void drain_recycled_locked();
   void retire_magazine_locked(std::uintptr_t window_base, Magazine& m);
   void drop_magazines_locked();
   void free_locked(std::unique_lock<std::mutex>& lock, void* p, SiteId site);
@@ -289,6 +313,17 @@ class ShadowEngine {
   // Sampled-rung fast-path ledger: the config's shared table, else private.
   SampledTable own_sampled_;
   SampledTable* sampled_;
+
+  // Revocation backend: the config's shared Revoker, else private. Resolved
+  // (and, for kPkey, the key allocated) in the constructor.
+  vm::Revoker own_revoker_;
+  vm::Revoker* revoker_;
+
+  // Per-shard MAP_FIXED recycle cache (cfg_.window_recycle_cap runs max,
+  // sorted by base, contiguous neighbours merged): released shadow spans and
+  // retired magazine runs wait here to be re-aliased, bypassing the shared
+  // freelist. Drained to the freelist (or unmapped) at release_all.
+  std::vector<vm::PageRange> va_recycle_;
 
   // Slot magazines: canonical-window base -> current generation.
   std::size_t magazine_slots_ = 0;  // validated; 0 = off

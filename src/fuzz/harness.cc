@@ -149,6 +149,8 @@ core::GuardConfig guard_config(const FuzzConfig& cfg,
   gc.protect_batch = cfg.protect_batch;
   gc.protect_batch_bytes = cfg.protect_batch_bytes;
   gc.magazine_slots = cfg.magazine_slots;
+  gc.revoke_backend = static_cast<vm::RevokeBackend>(cfg.revoke_backend);
+  gc.window_recycle_cap = cfg.recycle_cap;
   gc.governor = gov;
   return gc;
 }
@@ -914,6 +916,27 @@ std::vector<FuzzConfig> smoke_matrix(std::size_t n_ops) {
     c.tag_lane = true;
     v.push_back(c);
   }
+  {
+    // MPK revocation backend. Detection semantics are backend-invariant, so
+    // the cell runs the identical oracle lockstep on every host: on MPK
+    // hardware freed spans retag to the revoked key (SEGV_PKUERR traps), on
+    // anything else the Revoker's batched-mprotect fallback engages — and
+    // both must agree with the oracle op for op.
+    FuzzConfig c = base("pkey-batch16");
+    c.revoke_backend = 3;  // vm::RevokeBackend::kPkey
+    c.protect_batch = 16;
+    v.push_back(c);
+  }
+  {
+    // MAP_FIXED recycle cache (DESIGN.md §16) with a deliberately tiny cap:
+    // parked spans coalesce, split, and overflow to the shared freelist all
+    // within one run, and none of it may perturb detection.
+    FuzzConfig c = base("map-fixed-recycle");
+    c.magazine_slots = 64;
+    c.protect_batch = 16;
+    c.recycle_cap = 32;
+    v.push_back(c);
+  }
   return v;
 }
 
@@ -994,6 +1017,30 @@ std::vector<FuzzConfig> matrix(std::size_t n_ops) {
     FuzzConfig c = base("tag-wrap2");
     c.tag_lane = true;
     c.tag_bits = 2;
+    v.push_back(c);
+  }
+  {
+    // pkey backend under cross-thread frees: one shared Revoker (one revoked
+    // key) serves all four shards, remote frees retag spans another lane
+    // allocated. On non-MPK hosts the same cell exercises the fallback under
+    // the identical schedule.
+    FuzzConfig c = base("pkey-4shard-mt");
+    c.revoke_backend = 3;
+    c.shards = 4;
+    c.protect_batch = 16;
+    c.magazine_slots = 64;
+    c.gen.lanes = 4;
+    v.push_back(c);
+  }
+  {
+    // Recycle cache under shard-parallel churn: four caches coalescing and
+    // splitting independently while remote frees cross shard boundaries.
+    FuzzConfig c = base("recycle-4shard-mt");
+    c.shards = 4;
+    c.protect_batch = 16;
+    c.magazine_slots = 64;
+    c.recycle_cap = 16;
+    c.gen.lanes = 4;
     v.push_back(c);
   }
   return v;

@@ -190,6 +190,8 @@ std::string to_replay(const FuzzConfig& cfg, const Trace& trace) {
   out << "oracle_bug " << (cfg.oracle_bug ? 1 : 0) << "\n";
   out << "tag_lane " << (cfg.tag_lane ? 1 : 0) << "\n";
   out << "tag_bits " << cfg.tag_bits << "\n";
+  out << "revoke_backend " << cfg.revoke_backend << "\n";
+  out << "recycle_cap " << cfg.recycle_cap << "\n";
   out << "seed " << trace.seed << "\n";
   out << "lanes " << trace.lanes << "\n";
   out << "ops " << trace.ops.size() << "\n";
@@ -255,6 +257,13 @@ bool from_replay(const std::string& text, FuzzConfig* cfg, Trace* trace,
       c.tag_lane = v != 0;
     } else if (tag == "tag_bits") {
       in >> c.tag_bits;
+    } else if (tag == "revoke_backend") {
+      in >> c.revoke_backend;
+      if (c.revoke_backend < 0 || c.revoke_backend > 3) {
+        return fail("bad revoke_backend");
+      }
+    } else if (tag == "recycle_cap") {
+      in >> c.recycle_cap;
     } else if (tag == "seed") {
       in >> t.seed;
     } else if (tag == "lanes") {

@@ -1,0 +1,141 @@
+#include "vm/revoke.h"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/env.h"
+#include "vm/phys_arena.h"
+
+namespace dpg::vm {
+
+namespace {
+
+#if defined(__x86_64__)
+// PKRU accessors. RDPKRU/WRPKRU are encoded as raw bytes so the build does
+// not need -mpku; they are only ever executed after a successful pkey_alloc
+// proved CR4.PKE is set (executing them earlier would SIGILL).
+[[nodiscard]] std::uint32_t rdpkru() noexcept {
+  std::uint32_t eax, edx;
+  asm volatile(".byte 0x0f, 0x01, 0xee" : "=a"(eax), "=d"(edx) : "c"(0));
+  (void)edx;
+  return eax;
+}
+
+void wrpkru(std::uint32_t pkru) noexcept {
+  asm volatile(".byte 0x0f, 0x01, 0xef" : : "a"(pkru), "c"(0), "d"(0));
+}
+#endif
+
+// Per-thread memo of the highest PKRU value this thread has installed for
+// the current revoked key; -1 = never attached. Denials are monotone (bits
+// only set), so matching the key number is enough even across heap
+// generations that recycle the same kernel key.
+thread_local int t_denied_key = -1;
+
+}  // namespace
+
+const char* backend_name(RevokeBackend b) noexcept {
+  switch (b) {
+    case RevokeBackend::kAuto: return "auto";
+    case RevokeBackend::kMprotect: return "mprotect";
+    case RevokeBackend::kBatched: return "batched";
+    case RevokeBackend::kPkey: return "pkey";
+  }
+  return "?";
+}
+
+bool parse_backend(const char* s, RevokeBackend* out) noexcept {
+  if (s == nullptr) return false;
+  if (std::strcmp(s, "auto") == 0) *out = RevokeBackend::kAuto;
+  else if (std::strcmp(s, "mprotect") == 0) *out = RevokeBackend::kMprotect;
+  else if (std::strcmp(s, "batched") == 0) *out = RevokeBackend::kBatched;
+  else if (std::strcmp(s, "pkey") == 0) *out = RevokeBackend::kPkey;
+  else return false;
+  return true;
+}
+
+RevokeBackend backend_from_env() noexcept {
+  const char* spec = obs::env_str("DPG_REVOKE_BACKEND");
+  if (spec == nullptr || spec[0] == '\0') return RevokeBackend::kAuto;
+  RevokeBackend b = RevokeBackend::kAuto;
+  if (!parse_backend(spec, &b)) {
+    static const bool warned = [spec] {
+      std::fprintf(stderr,
+                   "dpguard: ignoring unknown DPG_REVOKE_BACKEND=\"%s\"\n",
+                   spec);
+      return true;
+    }();
+    (void)warned;
+    return RevokeBackend::kAuto;
+  }
+  return b;
+}
+
+Revoker::~Revoker() {
+  if (key_ >= 0) (void)sys::pkey_free(key_);
+}
+
+void Revoker::init(RevokeBackend requested) noexcept {
+  bool expected = false;
+  if (!resolved_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;  // first init decided
+  }
+  RevokeBackend want =
+      requested == RevokeBackend::kAuto ? backend_from_env() : requested;
+  if (want == RevokeBackend::kPkey) {
+    const sys::KeyResult kr = sys::pkey_alloc();
+    if (kr.ok()) {
+      key_ = kr.key;
+      active_.store(RevokeBackend::kPkey, std::memory_order_release);
+      return;
+    }
+    // Graceful fallback: batched keeps full detection with the classic
+    // syscall path; the owning engine reports the errno to the governor.
+    fallback_errno_.store(kr.err, std::memory_order_release);
+    want = RevokeBackend::kBatched;
+  }
+  active_.store(want, std::memory_order_release);
+}
+
+sys::IoResult Revoker::revoke(PhysArena& arena, void* p,
+                              std::size_t len) noexcept {
+  if (pkey_active()) return arena.try_revoke_pkey(p, len, key_);
+  return arena.try_revoke(p, len);
+}
+
+void Revoker::attach_thread() noexcept {
+#if defined(__x86_64__)
+  if (!pkey_active()) return;
+  if (t_denied_key == key_) return;
+  // Deny both access and write for the revoked key, preserving whatever
+  // rights the thread holds for every other key.
+  wrpkru(rdpkru() | (3u << (2 * static_cast<unsigned>(key_))));
+  t_denied_key = key_;
+#endif
+}
+
+int Revoker::consume_fallback_errno() noexcept {
+  return fallback_errno_.exchange(0, std::memory_order_acq_rel);
+}
+
+bool Revoker::mpk_supported() noexcept {
+  static const bool supported = [] {
+#if defined(__x86_64__) && defined(SYS_pkey_alloc)
+    // Raw probe, deliberately NOT through the shim: an injected pkey_alloc
+    // failure must drive the fallback path, not hide the hardware.
+    const long key = ::syscall(SYS_pkey_alloc, 0ul, 0ul);
+    if (key < 0) return false;
+    (void)::syscall(SYS_pkey_free, key);
+    return true;
+#else
+    return false;
+#endif
+  }();
+  return supported;
+}
+
+}  // namespace dpg::vm

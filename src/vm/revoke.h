@@ -1,0 +1,114 @@
+// Revoker — the pluggable revocation backend seam (DESIGN.md §16).
+//
+// The paper revokes a freed object's shadow pages with mprotect(PROT_NONE),
+// one syscall per free. The batching layer coalesces adjacent spans into one
+// mprotect per run. This seam adds a third strategy on Intel MPK hardware:
+// freed spans are retagged to a dedicated *revoked protection key* with
+// pkey_mprotect, and every heap-touching thread's PKRU register denies that
+// key — so the fault is raised by the protection-key check, not the
+// page-table permission bits, and the mprotect syscall counter stays at
+// literal zero in steady state.
+//
+// Granularity honesty: PKRU rights are per-thread per-key, not per-page, so
+// "zero syscalls per free" is not achievable at object granularity with 16
+// keys — the retag itself is a (cheap, non-TLB-shooting where coalesced)
+// pkey_mprotect syscall. What the backend eliminates is the mprotect path
+// and its PROT_NONE TLB flush semantics; the *rights* side (which pages a
+// thread may touch) is pure userspace WRPKRU. The backend composes with the
+// batch queue, so coalesced runs retag in one call exactly like the batched
+// mprotect path.
+//
+// Fallback contract: pkey_alloc failing (ENOSYS on non-MPK hardware/kernels,
+// ENOSPC when all 15 user keys are taken, or a DPG_FAULT_INJECT plan) is not
+// an error — the Revoker silently activates the batched mprotect backend and
+// records the errno, which the first owning engine reports to the
+// DegradationGovernor as a ladder event (no rung change: the fallback keeps
+// full detection).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "vm/sys.h"
+
+namespace dpg::vm {
+
+class PhysArena;
+
+enum class RevokeBackend : int {
+  // Legacy behaviour: the engine's batch knobs decide between immediate and
+  // coalesced mprotect, exactly as before this seam existed. kAuto survives
+  // Revoker::init when DPG_REVOKE_BACKEND is unset, so existing configs are
+  // byte-for-byte unchanged.
+  kAuto = 0,
+  kMprotect,  // one mprotect(PROT_NONE) per free
+  kBatched,   // coalesced runs, one mprotect(PROT_NONE) per run
+  kPkey,      // pkey_mprotect to the revoked key; PKRU denies access
+};
+
+[[nodiscard]] const char* backend_name(RevokeBackend b) noexcept;
+
+// Accepts "auto" | "mprotect" | "batched" | "pkey"; false on anything else.
+[[nodiscard]] bool parse_backend(const char* s, RevokeBackend* out) noexcept;
+
+// DPG_REVOKE_BACKEND, or kAuto when unset/unparsable (an unparsable value is
+// reported to stderr once).
+[[nodiscard]] RevokeBackend backend_from_env() noexcept;
+
+class Revoker {
+ public:
+  Revoker() = default;
+  ~Revoker();
+
+  Revoker(const Revoker&) = delete;
+  Revoker& operator=(const Revoker&) = delete;
+
+  // Resolves `requested` (kAuto consults DPG_REVOKE_BACKEND and stays kAuto
+  // when that is unset too) into the active backend. The kPkey request
+  // allocates the revoked key through the fault-injectable shim and falls
+  // back to kBatched on any refusal. Idempotent: the first call decides,
+  // later calls are no-ops — so one Revoker shared across shards resolves
+  // exactly once.
+  void init(RevokeBackend requested) noexcept;
+
+  [[nodiscard]] RevokeBackend active() const noexcept {
+    return active_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool pkey_active() const noexcept {
+    return active() == RevokeBackend::kPkey;
+  }
+  [[nodiscard]] int revoked_key() const noexcept { return key_; }
+
+  // Revokes [p, p+len): PROT_NONE through the arena for the mprotect
+  // backends, or a retag to the revoked key for kPkey. Both routes keep the
+  // arena's ENOMEM relief-and-retry posture.
+  [[nodiscard]] sys::IoResult revoke(PhysArena& arena, void* p,
+                                     std::size_t len) noexcept;
+
+  // Installs this thread's PKRU denial of the revoked key — a pure WRPKRU,
+  // no syscall. No-op unless kPkey is active; idempotent per thread (the
+  // denial is monotone: bits are only ever set, so re-attachment after key
+  // reuse by a later heap is harmless). Threads that never attach still trap
+  // on mainstream kernels (init_pkru defaults to deny-all for nonzero keys),
+  // but the engine attaches on every entry path so detection never depends
+  // on that default.
+  void attach_thread() noexcept;
+
+  // One-shot: the errno of a pkey_alloc refusal that forced the batched
+  // fallback, or 0. The first caller consumes it, so exactly one engine
+  // reports the ladder event.
+  [[nodiscard]] int consume_fallback_errno() noexcept;
+
+  // True when the CPU and kernel expose MPK. Probes with a raw pkey_alloc
+  // syscall (bypassing the fault-injection plan, so an injected ENOSYS does
+  // not make real hardware look absent); cached after the first call.
+  [[nodiscard]] static bool mpk_supported() noexcept;
+
+ private:
+  std::atomic<RevokeBackend> active_{RevokeBackend::kAuto};
+  std::atomic<bool> resolved_{false};
+  std::atomic<int> fallback_errno_{0};
+  int key_ = -1;
+};
+
+}  // namespace dpg::vm

@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/fault_manager.h"
 #include "core/guarded_heap.h"
 #include "core/guarded_pool.h"
+#include "core/sharded_heap.h"
+#include "vm/revoke.h"
 #include "test_seed.h"
 #include "workloads/common.h"
 
@@ -178,6 +181,127 @@ TEST(Concurrency, DetectionsCounterIsAtomic) {
   }
   for (std::thread& th : threads) th.join();
   EXPECT_EQ(FaultManager::instance().detections(), before + kThreads * 25);
+}
+
+TEST(Concurrency, PkeyBackendRemoteFreeStorm) {
+  // MPSC storm against the pkey revocation backend: producers allocate on
+  // their home shards, one consumer frees everything remotely, so every
+  // revocation follows the remote-free drain path under a single shared
+  // Revoker (one revoked key across all shards). Detection assertions run on
+  // every host — on non-MPK machines the Revoker resolves to its batched
+  // fallback and the same storm exercises that; the pkey-native assertions
+  // at the end skip (not fail) where the hardware is absent.
+  vm::PhysArena arena(1u << 28);
+  DegradationGovernor gov;
+  vm::Revoker revoker;
+  ShardedHeap heap(arena,
+                   {.freed_va_budget = 64u << 20,
+                    .protect_batch = 16,
+                    .governor = &gov,
+                    .revoke_backend = vm::RevokeBackend::kPkey,
+                    .revoker = &revoker},
+                   kThreads);
+
+  constexpr int kPerThread = 400;
+  std::mutex mu;
+  std::vector<unsigned char*> queue;
+  std::atomic<int> producers_left{kThreads};
+  std::atomic<bool> failed{false};
+  const std::uint64_t seed0 = dpg::testing::dpg_test_seed(11);
+  DPG_SEED_TRACE(seed0);
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      workloads::Rng rng(seed0 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::size_t size = 1 + rng.below(256);
+        auto* p = static_cast<unsigned char*>(heap.malloc(size));
+        if (p == nullptr) {
+          failed = true;
+          break;
+        }
+        p[0] = static_cast<unsigned char>(t);
+        std::lock_guard lk(mu);
+        queue.push_back(p);
+      }
+      producers_left.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  // The consumer never allocated any of these: every free is a cross-thread
+  // (remote) free routed back to the owning shard.
+  std::vector<unsigned char*> freed;
+  std::thread consumer([&] {
+    for (;;) {
+      // Order matters: only an empty pop AFTER observing "no producers left"
+      // proves the queue is drained (a push can land between an empty pop
+      // and the counter check, but not between the check and a later pop).
+      const bool done = producers_left.load(std::memory_order_acquire) == 0;
+      unsigned char* p = nullptr;
+      {
+        std::lock_guard lk(mu);
+        if (!queue.empty()) {
+          p = queue.back();
+          queue.pop_back();
+        }
+      }
+      if (p != nullptr) {
+        heap.free(p);
+        freed.push_back(p);
+      } else if (done) {
+        break;
+      }
+    }
+  });
+  for (std::thread& th : producers) th.join();
+  consumer.join();
+  heap.flush_all();
+
+  EXPECT_FALSE(failed.load());
+  const GuardStats stats = heap.stats();
+  EXPECT_EQ(stats.allocations, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.frees, stats.allocations);  // every remote free admitted once
+  EXPECT_EQ(stats.revoked_spans, stats.frees);  // flush drained every queue
+  EXPECT_EQ(stats.guard_failures, 0u);
+  EXPECT_EQ(stats.double_frees, 0u);
+
+  // A second free of a consumed pointer is still an exact double-free report,
+  // raised from yet another thread (neither allocator nor consumer).
+  ASSERT_FALSE(freed.empty());
+  unsigned char* df = freed.back();
+  std::thread df_probe([&] {
+    const auto report = catch_dangling([&] { heap.free(df); });
+    if (!report.has_value() || report->kind != AccessKind::kFree) failed = true;
+  });
+  df_probe.join();
+  EXPECT_FALSE(failed.load()) << "double free after remote-free storm";
+
+  // Per-thread revocation visibility: a fresh thread attaches (first heap
+  // touch installs its PKRU denial under pkey; a no-op otherwise) and must
+  // trap on every probed revoked span.
+  std::atomic<int> traps{0};
+  std::thread prober([&] {
+    void* warm = heap.malloc(16);
+    for (std::size_t i = 0; i < 8 && i < freed.size(); ++i) {
+      unsigned char* p = freed[freed.size() - 1 - i];
+      const auto report = catch_dangling([&] {
+        volatile unsigned char c = *p;
+        (void)c;
+      });
+      if (report.has_value()) traps.fetch_add(1);
+    }
+    heap.free(warm);
+  });
+  prober.join();
+  EXPECT_EQ(traps.load(), 8);
+
+  if (!vm::Revoker::mpk_supported()) {
+    GTEST_SKIP() << "no MPK: storm ran on the batched fallback; "
+                    "pkey-native assertions skipped";
+  }
+  EXPECT_EQ(revoker.active(), vm::RevokeBackend::kPkey);
+  EXPECT_GE(revoker.revoked_key(), 1);
+  EXPECT_EQ(stats.pkey_revocations, stats.frees);
 }
 
 }  // namespace
